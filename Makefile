@@ -1,0 +1,40 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build vet test race bench experiments experiments-md csv examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table/figure at full scale (exit code reflects PASS/FAIL).
+experiments:
+	$(GO) run ./cmd/itm-experiments -scale default -seed 42
+
+# Rebuild EXPERIMENTS.md's body (prepend the hand-written preamble yourself).
+experiments-md:
+	$(GO) run ./cmd/itm-experiments -scale default -seed 42 -markdown
+
+# Figure series as CSV for plotting.
+csv:
+	$(GO) run ./cmd/itm-experiments -scale default -seed 42 -csv figures/ >/dev/null
+
+examples:
+	@for d in examples/*/; do echo "== $$d"; $(GO) run ./$$d | head -20; echo; done
+
+clean:
+	rm -rf figures/ test_output.txt bench_output.txt

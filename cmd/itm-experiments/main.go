@@ -1,0 +1,79 @@
+// Command itm-experiments regenerates every table and figure of the paper:
+// Table 1, Figures 1a/1b/2, and the in-text quantitative claims E1-E9
+// (see DESIGN.md for the index). For each artifact it prints the paper's
+// reported value next to the value measured on the simulated Internet and
+// whether the qualitative shape holds.
+//
+// Usage:
+//
+//	itm-experiments [-scale tiny|small|default] [-seed N] [-markdown] [-only ID]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"itmap"
+)
+
+func main() {
+	scale := flag.String("scale", "default", "world scale: tiny, small, or default")
+	seed := flag.Int64("seed", 42, "world seed")
+	markdown := flag.Bool("markdown", false, "emit Markdown (EXPERIMENTS.md body)")
+	only := flag.String("only", "", "run only these comma-separated experiment IDs (e.g. F2,E5)")
+	csvDir := flag.String("csv", "", "also write each figure's series as CSV files into this directory")
+	flag.Parse()
+
+	var cfg itm.Config
+	switch *scale {
+	case "tiny":
+		cfg = itm.TinyConfig(*seed)
+	case "small":
+		cfg = itm.SmallConfig(*seed)
+	case "default":
+		cfg = itm.DefaultConfig(*seed)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	inet := itm.NewInternet(cfg)
+	results := itm.RunAllExperiments(inet)
+	if *only != "" {
+		want := map[string]bool{}
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+		var filtered []*itm.Result
+		for _, r := range results {
+			if want[r.ID] {
+				filtered = append(filtered, r)
+			}
+		}
+		results = filtered
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "itm-experiments:", err)
+			os.Exit(1)
+		}
+		files, err := itm.WriteSeriesCSV(results, *csvDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "itm-experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d CSV files to %s\n", len(files), *csvDir)
+	}
+	if *markdown {
+		fmt.Print(itm.MarkdownResults(results))
+	} else {
+		fmt.Print(itm.FormatResults(results))
+	}
+	for _, r := range results {
+		if !r.Pass() {
+			os.Exit(1)
+		}
+	}
+}

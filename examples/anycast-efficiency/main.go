@@ -1,0 +1,65 @@
+// Anycast efficiency: reproduce the "tale of two weightings" for anycast
+// catchments (§2.1/§3.2.3). Route-weighted optimality looks mediocre;
+// user-weighted optimality looks much better, because the networks hosting
+// most users peer directly with the anycast operator near those users.
+package main
+
+import (
+	"fmt"
+
+	"itmap"
+	"itmap/internal/measure/catchment"
+	"itmap/internal/services"
+	"itmap/internal/topology"
+)
+
+func main() {
+	inet := itm.NewInternet(itm.SmallConfig(9))
+
+	// Find an anycast service and its owner.
+	var svc *services.Service
+	for _, s := range inet.Cat.Services {
+		if s.Kind == services.Anycast {
+			svc = s
+			break
+		}
+	}
+	if svc == nil {
+		fmt.Println("no anycast service in this world")
+		return
+	}
+	d := inet.Cat.Deployments[svc.Owner]
+	fmt.Printf("anycast service %q by %s: prefix %v announced from %d sites\n",
+		svc.Name, inet.Top.ASes[svc.Owner].Name, d.AnycastPrefix, len(d.AnycastSites))
+
+	// Verfploeter-style catchment measurement over every client network.
+	var clients []itm.ASN
+	clients = append(clients, inet.Top.ASesOfType(topology.Eyeball)...)
+	clients = append(clients, inet.Top.ASesOfType(topology.Enterprise)...)
+	cmap := catchment.Measure(inet.Cat, inet.Paths, svc.Owner, clients)
+	an := catchment.Analyze(cmap, inet.Cat, inet.Top, inet.Users)
+
+	fmt.Printf("\ncatchment optimality over %d client networks:\n", len(an.Results))
+	fmt.Printf("  routes landing at their closest site: %5.1f%%   (paper: 31%%)\n", an.RouteOptimalFrac*100)
+	fmt.Printf("  users  landing at their closest site: %5.1f%%   (paper: 60%%)\n", an.UserOptimalFrac*100)
+	fmt.Printf("  users within 500 km of closest site:  %5.1f%%   (paper: 80%%)\n", an.UserFracWithinKm(500)*100)
+	fmt.Printf("  user-weighted median distance inflation: %.0f km\n", an.MedianInflationKm())
+
+	fmt.Println("\nproximity CDF (user-weighted | route-weighted):")
+	for _, km := range []float64{0, 250, 500, 1000, 2500, 5000} {
+		fmt.Printf("  <= %5.0f km: %5.1f%% | %5.1f%%\n",
+			km, an.UserFracWithinKm(km)*100, an.RouteFracWithinKm(km)*100)
+	}
+
+	// Per-site catchment sizes.
+	bySite := map[string]float64{}
+	for asn, site := range cmap.Landing {
+		bySite[site.City.Name] += inet.Users.ASUsers(asn)
+	}
+	fmt.Println("\nusers per landing site:")
+	for _, site := range d.AnycastSites {
+		if u := bySite[site.City.Name]; u > 0 {
+			fmt.Printf("  %-16s %8.1fM users\n", site.City.Name, u/1e6)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+// Community cache study: the §3.2.3 proposal that research networks host
+// caches "to measure the cache hit rate under normal operation and during
+// flash events". The example sweeps cache capacity against the catalog,
+// validates the LRU simulator against the Che approximation, and shows what
+// a flash crowd does to hit rates.
+package main
+
+import (
+	"fmt"
+
+	"itmap/internal/cachesim"
+	"itmap/internal/randx"
+)
+
+func main() {
+	const catalog = 50000
+	rng := randx.New(42)
+	base := cachesim.NewZipfWorkload(catalog, 0.9)
+
+	fmt.Println("edge cache hit rate vs capacity (Zipf 0.9 over 50k objects):")
+	fmt.Printf("%-12s %10s %10s\n", "CAPACITY", "SIMULATED", "CHE")
+	for _, capacity := range []int{100, 500, 2500, 10000, 50000} {
+		sim := cachesim.MeasureHitRate(cachesim.NewLRU(capacity), base, rng, 100000, 400000)
+		che := cachesim.CheHitRate(capacity, base.Weights())
+		fmt.Printf("%-12d %9.1f%% %9.1f%%\n", capacity, sim*100, che*100)
+	}
+
+	fmt.Println("\nflash event (share of requests going to one live object):")
+	fmt.Printf("%-12s %10s\n", "HOT SHARE", "HIT RATE")
+	for _, share := range []float64{0, 0.2, 0.5, 0.8} {
+		var w cachesim.Workload = base
+		if share > 0 {
+			w = &cachesim.FlashWorkload{Base: base, HotKey: catalog + 1, HotShare: share}
+		}
+		hr := cachesim.MeasureHitRate(cachesim.NewLRU(2500), w, rng, 100000, 400000)
+		fmt.Printf("%-12.0f%% %9.1f%%\n", share*100, hr*100)
+	}
+	fmt.Println("\nflash crowds cache beautifully: one hot object turns an edge cache")
+	fmt.Println("into a near-perfect shield, which is why off-nets absorb live events.")
+}

@@ -1,0 +1,61 @@
+// Outage impact: the §2.1 use case. Fail a large eyeball ISP and ask the
+// traffic map — built from public measurements only — which services its
+// users lose, what share of activity is affected, and where the traffic
+// would be served from instead.
+package main
+
+import (
+	"fmt"
+
+	"itmap"
+	"itmap/internal/topology"
+)
+
+func main() {
+	inet := itm.NewInternet(itm.SmallConfig(11))
+	tmap := itm.BuildMap(inet)
+
+	// Fail France's largest ISP (the generator names the big French
+	// eyeballs after the paper's Figure 2 case study).
+	var orange itm.ASN
+	for _, asn := range inet.Top.EyeballsInCountry("FR") {
+		if inet.Top.ASes[asn].Name == "Orange" {
+			orange = asn
+			break
+		}
+	}
+	if orange == 0 {
+		fmt.Println("no Orange in this world; using the largest eyeball instead")
+		best := 0.0
+		for _, asn := range inet.Top.ASesOfType(topology.Eyeball) {
+			if u := inet.Users.ASUsers(asn); u > best {
+				best, orange = u, asn
+			}
+		}
+	}
+
+	rep := tmap.OutageImpact(orange)
+	fmt.Printf("outage scenario: AS%d (%s, %s)\n", rep.AS, rep.Name, rep.Country)
+	fmt.Printf("  share of estimated global activity: %.2f%%\n", rep.ActivityShare*100)
+	fmt.Printf("  active client /24s inside the AS:   %d\n", rep.ActivePrefixes)
+	fmt.Printf("  serving prefixes lost (off-nets):   %d\n", rep.HostedServers)
+	fmt.Printf("  services whose mapping serves these users: %d\n", len(rep.AffectedServices))
+	for i, dom := range rep.AffectedServices {
+		if i >= 5 {
+			fmt.Printf("  ... and %d more\n", len(rep.AffectedServices)-5)
+			break
+		}
+		if fb, ok := rep.Fallbacks[dom]; ok {
+			fmt.Printf("    %-28s -> would fall back to %v\n", dom, fb)
+		} else {
+			fmt.Printf("    %-28s (no surviving server found)\n", dom)
+		}
+	}
+
+	// Country-level view: how much of the country's activity this is.
+	ci := tmap.CountryImpactOf(rep.Country)
+	if ci.ActivityShare > 0 {
+		fmt.Printf("  for scale, country %s holds %.2f%% of estimated activity in %d ASes\n",
+			rep.Country, ci.ActivityShare*100, ci.ActiveASes)
+	}
+}

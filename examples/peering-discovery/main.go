@@ -1,0 +1,47 @@
+// Peering discovery: the §3.3 pipeline. Route collectors see almost none of
+// the hypergiants' peering links; cloud-VM traceroute campaigns recover the
+// cloud side; a recommendation system over public peering profiles predicts
+// the rest. Each stage is scored against the (normally unknowable) truth.
+package main
+
+import (
+	"fmt"
+
+	"itmap"
+	"itmap/internal/bgp"
+	"itmap/internal/measure/tracer"
+	"itmap/internal/peering"
+	"itmap/internal/topology"
+)
+
+func main() {
+	inet := itm.NewInternet(itm.SmallConfig(13))
+	session := itm.NewSession(inet)
+
+	// Stage 1: what the public view (route collectors) sees.
+	obs := session.ObservedLinks()
+	vis := bgp.MeasureVisibility(inet.Top, obs)
+	fmt.Printf("route collectors: %d/%d links visible (%.0f%%); giant peerings %.1f%% visible\n",
+		vis.VisibleLinks, vis.TotalLinks, vis.FracVisible()*100,
+		vis.FracGiantPeeringsVisible()*100)
+
+	// Stage 2: measure out from cloud/hypergiant VMs (forward + reverse
+	// traceroute) — the Arnold et al. technique.
+	giants := append(inet.Top.ASesOfType(topology.Cloud), inet.Top.ASesOfType(topology.Hypergiant)...)
+	cloudLinks := tracer.CloudCampaign(inet.Paths, giants, inet.Top.ASNs())
+	after := bgp.MeasureVisibility(inet.Top, tracer.Union(obs, cloudLinks))
+	fmt.Printf("after cloud campaigns: giant peerings %.1f%% visible\n",
+		after.FracGiantPeeringsVisible()*100)
+
+	// Stage 3: recommend the links no vantage point can measure.
+	cands := itm.PeeringCandidates(inet, 25)
+	ev := peering.Evaluate(inet.Top, obs, cands, len(cands))
+	fmt.Printf("\nrecommender: top %d candidates, precision %.0f%% (%d links still hidden)\n",
+		ev.K, ev.PrecisionK*100, ev.HiddenLinks)
+	fmt.Printf("%-26s %-26s %7s %s\n", "A", "B", "SCORE", "REAL?")
+	for _, c := range cands {
+		fmt.Printf("%-26s %-26s %7.2f %v\n",
+			inet.Top.ASes[c.A].Name, inet.Top.ASes[c.B].Name,
+			c.Score, inet.Top.HasLink(c.A, c.B))
+	}
+}

@@ -1,0 +1,91 @@
+// Server geolocation: §3.2.3 approach 3. TLS scans find a CDN's serving
+// prefixes; RTT constraints from distributed vantage points locate them;
+// in-facility vantage points sharpen the estimates.
+package main
+
+import (
+	"fmt"
+
+	"itmap"
+	"itmap/internal/geo"
+	"itmap/internal/latency"
+	"itmap/internal/measure/geoloc"
+	"itmap/internal/measure/tlsscan"
+	"itmap/internal/topology"
+)
+
+func main() {
+	inet := itm.NewInternet(itm.SmallConfig(21))
+	lm := latency.New(inet.Top, inet.Paths, 21)
+
+	// Step 1: find the reference CDN's servers with a TLS scan.
+	scan := tlsscan.ScanAll(inet.Top, inet.Cat, inet.Top.AllPrefixes())
+	owner := inet.Cat.ReferenceCDN
+	servers := scan.ByOwner[owner]
+	fmt.Printf("TLS scan: %d serving prefixes for %s\n", len(servers), inet.Top.ASes[owner].Name)
+
+	// Step 2: localize each server with Atlas vantage points; accuracy
+	// grows with vantage diversity.
+	atlas := geoloc.AtlasVPSet(inet.Top)
+	fmt.Println("accuracy vs vantage-point count:")
+	for _, nvp := range []int{1, 3, 5, 10, len(atlas)} {
+		var errs []float64
+		for _, srv := range servers {
+			if est, ok := geoloc.Localize(lm, atlas[:nvp], srv.Prefix, 5); ok {
+				errs = append(errs, est.ErrorKm(srv.City.Coord))
+			}
+		}
+		s := geoloc.Summarize(errs)
+		fmt.Printf("  %2d VPs: median error %5.0f km, p90 %5.0f km\n", nvp, s.MedianKm, s.P90Km)
+	}
+	var atlasErrs []float64
+	for _, srv := range servers {
+		if est, ok := geoloc.Localize(lm, atlas, srv.Prefix, 5); ok {
+			atlasErrs = append(atlasErrs, est.ErrorKm(srv.City.Coord))
+		}
+	}
+	a := geoloc.Summarize(atlasErrs)
+	fmt.Printf("all Atlas VPs (%d):        median error %5.0f km, p90 %5.0f km\n",
+		len(atlas), a.MedianKm, a.P90Km)
+
+	// Step 3: add in-facility vantage points (another giant's on-net
+	// sites, whose facility coordinates are public).
+	var other topology.ASN
+	for _, hg := range inet.Top.ASesOfType(topology.Hypergiant) {
+		if hg != owner {
+			other = hg
+			break
+		}
+	}
+	facTargets := map[topology.PrefixID]geo.City{}
+	for _, s := range inet.Cat.Deployments[other].OnNetSites() {
+		facTargets[s.Prefix] = s.City
+	}
+	facility := geoloc.FacilityVPSet(inet.Top, facTargets)
+	combined := append(append([]geoloc.VantagePoint{}, atlas...), facility...)
+	var combErrs []float64
+	for _, srv := range servers {
+		if est, ok := geoloc.Localize(lm, combined, srv.Prefix, 5); ok {
+			combErrs = append(combErrs, est.ErrorKm(srv.City.Coord))
+		}
+	}
+	c := geoloc.Summarize(combErrs)
+	fmt.Printf("+ in-facility VPs (%d):    median error %5.0f km, p90 %5.0f km\n",
+		len(facility), c.MedianKm, c.P90Km)
+
+	// A concrete case: the farthest-off estimate.
+	worst, worstErr := topology.PrefixID(0), -1.0
+	for _, srv := range servers {
+		if est, ok := geoloc.Localize(lm, combined, srv.Prefix, 5); ok {
+			if e := est.ErrorKm(srv.City.Coord); e > worstErr {
+				worst, worstErr = srv.Prefix, e
+			}
+		}
+	}
+	for _, srv := range servers {
+		if srv.Prefix == worst {
+			fmt.Printf("hardest target: %v actually in %s (off-net=%v), error %.0f km\n",
+				worst, srv.City.Name, srv.OffNet(), worstErr)
+		}
+	}
+}

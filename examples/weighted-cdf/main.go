@@ -1,0 +1,63 @@
+// Weighted CDFs: the paper's opening argument. An unweighted CDF over
+// academic-topology paths says the Internet is many hops deep; weighting by
+// actual query volume to a hypergiant says most activity crosses at most
+// one AS boundary. Same Internet, opposite conclusions.
+package main
+
+import (
+	"fmt"
+
+	"itmap"
+	"itmap/internal/topology"
+)
+
+func main() {
+	inet := itm.NewInternet(itm.SmallConfig(5))
+	mx := inet.Traffic.BuildMatrix()
+
+	// Unweighted: every (academic VP, destination AS) path counts once —
+	// the classic iPlane/PlanetLab view.
+	var unweighted itm.WeightedCDF
+	for _, vp := range inet.Top.ASesOfType(topology.Academic) {
+		if inet.Top.ASes[vp].RootOperator {
+			continue
+		}
+		for _, dst := range inet.Top.ASNs() {
+			if dst == vp {
+				continue
+			}
+			if h := inet.Paths.Hops(vp, dst); h >= 0 {
+				unweighted.Add(float64(h), 1)
+			}
+		}
+	}
+
+	// Weighted: each path counts by the query volume it actually carries
+	// toward the largest content owner.
+	topOwner := mx.TopOwners()[0]
+	var weighted itm.WeightedCDF
+	for _, f := range mx.Flows {
+		svc := inet.Cat.Services[f.Svc]
+		if svc.Owner != topOwner.ASN || f.Hops < 0 {
+			continue
+		}
+		weighted.Add(float64(f.Hops), f.Bytes/svc.BytesPerQuery)
+	}
+
+	fmt.Printf("top content owner: %s (AS%d), %.0f%% of ground-truth traffic\n\n",
+		inet.Top.ASes[topOwner.ASN].Name, topOwner.ASN, topOwner.Share*100)
+	fmt.Printf("%-10s %22s %22s\n", "hops <=", "unweighted paths", "query-weighted")
+	for h := 0; h <= 4; h++ {
+		fmt.Printf("%-10d %21.1f%% %21.1f%%\n", h,
+			unweighted.FracAtMost(float64(h))*100,
+			weighted.FracAtMost(float64(h))*100)
+	}
+	fmt.Printf("\nunweighted median path: %.0f hops; query-weighted median: %.0f hops\n",
+		unweighted.Quantile(0.5), weighted.Quantile(0.5))
+	fmt.Println("(the paper: 2% of iPlane paths were short, yet 73% of Google queries were)")
+
+	// The same contrast, packaged: how every habitual metric changes
+	// once weighted by the traffic it carries.
+	fmt.Println()
+	fmt.Print(itm.BuildWeightingReport(inet, mx).String())
+}

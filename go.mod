@@ -1,0 +1,3 @@
+module itmap
+
+go 1.22

@@ -1,0 +1,78 @@
+package bgp
+
+import (
+	"fmt"
+	"io"
+	"net/netip"
+
+	"itmap/internal/mrt"
+	"itmap/internal/topology"
+)
+
+// ExportMRT writes the collector's full view as a TABLE_DUMP_V2 dump: for
+// every origin AS's first announced prefix, one RIB record carrying each
+// collector peer's AS path — the artifact RouteViews/RIS actually publish.
+func (c *Collector) ExportMRT(w io.Writer, ap *AllPaths, timestamp uint32) error {
+	top := ap.Topology()
+	wr := mrt.NewWriter(w, timestamp)
+	peers := make([]mrt.Peer, len(c.Peers))
+	for i, asn := range c.Peers {
+		a := top.ASes[asn]
+		if a == nil || len(a.Prefixes) == 0 {
+			return fmt.Errorf("bgp: collector peer %d has no address", asn)
+		}
+		peers[i] = mrt.Peer{ASN: uint32(asn), Addr: a.Prefixes[0].Addr(179)}
+	}
+	if err := wr.WritePeerIndexTable(1, "itmap-collector", peers); err != nil {
+		return err
+	}
+	for _, origin := range top.ASNs() {
+		oa := top.ASes[origin]
+		if len(oa.Prefixes) == 0 {
+			continue
+		}
+		rib := ap.RIBFor(origin)
+		var entries []mrt.RIBEntry
+		for i, peer := range c.Peers {
+			path := rib.PathFrom(peer)
+			if path == nil {
+				continue
+			}
+			asPath := make([]uint32, len(path))
+			for j, asn := range path {
+				asPath[j] = uint32(asn)
+			}
+			entries = append(entries, mrt.RIBEntry{
+				PeerIndex:    uint16(i),
+				ASPath:       asPath,
+				OriginatedAt: timestamp,
+			})
+		}
+		if len(entries) == 0 {
+			continue
+		}
+		prefix := netip.PrefixFrom(oa.Prefixes[0].Addr(0), 24)
+		if err := wr.WriteRIB(prefix, entries); err != nil {
+			return err
+		}
+	}
+	return wr.Flush()
+}
+
+// ObservedLinksFromDump reconstructs the public link set from a parsed MRT
+// dump — what a researcher does with downloaded collector data.
+func ObservedLinksFromDump(d *mrt.Dump) map[topology.LinkKey]bool {
+	links := map[topology.LinkKey]bool{}
+	for _, rib := range d.RIBs {
+		for _, e := range rib.Entries {
+			for i := 0; i+1 < len(e.ASPath); i++ {
+				a := topology.ASN(e.ASPath[i])
+				b := topology.ASN(e.ASPath[i+1])
+				if a != b {
+					links[topology.MakeLinkKey(a, b)] = true
+				}
+			}
+		}
+	}
+	return links
+}

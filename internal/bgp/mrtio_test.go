@@ -1,0 +1,90 @@
+package bgp
+
+import (
+	"bytes"
+	"testing"
+
+	"itmap/internal/mrt"
+	"itmap/internal/randx"
+	"itmap/internal/topology"
+)
+
+func TestMRTExportRoundTripsObservedLinks(t *testing.T) {
+	top := topology.Generate(topology.TinyGenConfig(41))
+	ap := ComputeAll(top)
+	col := &Collector{Peers: DefaultCollectorPeers(top, randx.New(1))}
+
+	var buf bytes.Buffer
+	if err := col.ExportMRT(&buf, ap, 1700000000); err != nil {
+		t.Fatal(err)
+	}
+	dump, err := mrt.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dump.Peers) != len(col.Peers) {
+		t.Fatalf("peer table has %d peers, want %d", len(dump.Peers), len(col.Peers))
+	}
+	for i, p := range dump.Peers {
+		if topology.ASN(p.ASN) != col.Peers[i] {
+			t.Fatalf("peer %d ASN %d != %d", i, p.ASN, col.Peers[i])
+		}
+	}
+	// The links a researcher derives from the dump are exactly the links
+	// the collector observed.
+	fromDump := ObservedLinksFromDump(dump)
+	direct := col.ObservedLinks(ap)
+	if len(fromDump) != len(direct) {
+		t.Fatalf("dump-derived links %d != direct %d", len(fromDump), len(direct))
+	}
+	for lk := range direct {
+		if !fromDump[lk] {
+			t.Fatalf("link %v missing from dump", lk)
+		}
+	}
+}
+
+func TestMRTDumpSizeSane(t *testing.T) {
+	top := topology.Generate(topology.TinyGenConfig(42))
+	ap := ComputeAll(top)
+	col := &Collector{Peers: DefaultCollectorPeers(top, randx.New(2))}
+	var buf bytes.Buffer
+	if err := col.ExportMRT(&buf, ap, 0); err != nil {
+		t.Fatal(err)
+	}
+	// One RIB record per origin with a prefix; each entry ~ small.
+	if buf.Len() < 1000 {
+		t.Errorf("dump suspiciously small: %d bytes", buf.Len())
+	}
+	dump, err := mrt.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dump.RIBs) != top.NumASes() {
+		t.Errorf("dump has %d RIBs for %d ASes", len(dump.RIBs), top.NumASes())
+	}
+	// AS paths in entries start at the peer and end at the origin.
+	for _, rib := range dump.RIBs {
+		origin, ok := top.OwnerOf(mustPrefixID(t, rib))
+		if !ok {
+			t.Fatalf("dump prefix %v has no owner", rib.Prefix)
+		}
+		for _, e := range rib.Entries {
+			if topology.ASN(e.ASPath[len(e.ASPath)-1]) != origin {
+				t.Fatalf("AS path %v does not end at origin %d", e.ASPath, origin)
+			}
+			if topology.ASN(e.ASPath[0]) != topology.ASN(dump.Peers[e.PeerIndex].ASN) {
+				t.Fatalf("AS path %v does not start at peer", e.ASPath)
+			}
+		}
+	}
+}
+
+func mustPrefixID(t *testing.T, rib mrt.RIB) topology.PrefixID {
+	t.Helper()
+	p, err := topology.PrefixFromAddr(rib.Prefix.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}

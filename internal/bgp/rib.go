@@ -1,0 +1,292 @@
+// Package bgp computes interdomain routes over a topology using the
+// Gao–Rexford model: routes learned from customers are preferred over routes
+// from peers, which beat routes from providers; customer routes are exported
+// to everyone, peer and provider routes only to customers. Ties break on
+// shortest AS path, then lowest next-hop ASN. The same machinery runs on
+// both the true topology (ground-truth paths) and on observed subgraphs
+// (the paper's §3.3 path prediction on public topologies).
+package bgp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"itmap/internal/topology"
+)
+
+// RouteType says how an AS learned its best route toward a destination.
+type RouteType uint8
+
+// Route types in decreasing preference order.
+const (
+	// Unreachable means no policy-compliant route exists.
+	Unreachable RouteType = iota
+	// Origin is the destination itself.
+	Origin
+	// ViaCustomer routes were learned from a customer.
+	ViaCustomer
+	// ViaPeer routes were learned from a settlement-free peer.
+	ViaPeer
+	// ViaProvider routes were learned from a transit provider.
+	ViaProvider
+)
+
+// String names the route type.
+func (rt RouteType) String() string {
+	switch rt {
+	case Unreachable:
+		return "unreachable"
+	case Origin:
+		return "origin"
+	case ViaCustomer:
+		return "customer"
+	case ViaPeer:
+		return "peer"
+	case ViaProvider:
+		return "provider"
+	default:
+		return fmt.Sprintf("routetype(%d)", uint8(rt))
+	}
+}
+
+// RIB holds every AS's best route toward one origin AS. Entries are indexed
+// by the topology's dense AS index.
+type RIB struct {
+	top    *topology.Topology
+	origin topology.ASN
+
+	// NextHop[i] is the dense index of the next hop of AS i toward the
+	// origin, or -1.
+	NextHop []int32
+	// PathLen[i] is the AS-path length (hops) from AS i to the origin.
+	PathLen []uint16
+	// Type[i] is how AS i learned its best route.
+	Type []RouteType
+}
+
+// Origin returns the destination AS this RIB routes toward.
+func (r *RIB) Origin() topology.ASN { return r.origin }
+
+// ComputeRIB computes best routes from every AS toward origin using
+// three-phase Gao–Rexford propagation.
+func ComputeRIB(top *topology.Topology, origin topology.ASN) *RIB {
+	n := top.NumASes()
+	r := &RIB{
+		top:     top,
+		origin:  origin,
+		NextHop: make([]int32, n),
+		PathLen: make([]uint16, n),
+		Type:    make([]RouteType, n),
+	}
+	for i := range r.NextHop {
+		r.NextHop[i] = -1
+	}
+	oi, ok := top.Index(origin)
+	if !ok {
+		return r
+	}
+	r.Type[oi] = Origin
+	asns := top.ASNs()
+
+	// Phase 1: customer routes climb provider links. BFS by level with
+	// deterministic min-ASN next-hop selection per level.
+	frontier := []int{oi}
+	for level := uint16(1); len(frontier) > 0; level++ {
+		next := map[int]int{} // candidate idx -> best (min-ASN) next hop idx
+		for _, ui := range frontier {
+			u := top.ASes[asns[ui]]
+			for _, nb := range u.Neighbors {
+				if nb.Rel != topology.RelProvider {
+					continue
+				}
+				pi, _ := top.Index(nb.ASN)
+				if r.Type[pi] != Unreachable {
+					continue // already has a customer route (or is origin)
+				}
+				if cur, seen := next[pi]; !seen || asns[ui] < asns[cur] {
+					next[pi] = ui
+				}
+			}
+		}
+		frontier = frontier[:0]
+		for pi, via := range next {
+			r.Type[pi] = ViaCustomer
+			r.NextHop[pi] = int32(via)
+			r.PathLen[pi] = level
+			frontier = append(frontier, pi)
+		}
+	}
+
+	// Phase 2: ASes with customer routes (or the origin) export to peers;
+	// peer routes take one peer hop and are not re-exported upward.
+	type peerOffer struct {
+		len uint16
+		via int
+	}
+	offers := map[int]peerOffer{}
+	for ui := 0; ui < n; ui++ {
+		if r.Type[ui] != ViaCustomer && r.Type[ui] != Origin {
+			continue
+		}
+		u := top.ASes[asns[ui]]
+		for _, nb := range u.Neighbors {
+			if nb.Rel != topology.RelPeer {
+				continue
+			}
+			vi, _ := top.Index(nb.ASN)
+			if r.Type[vi] == ViaCustomer || r.Type[vi] == Origin {
+				continue // customer routes beat peer routes
+			}
+			offer := peerOffer{len: r.PathLen[ui] + 1, via: ui}
+			cur, seen := offers[vi]
+			if !seen || offer.len < cur.len ||
+				(offer.len == cur.len && asns[offer.via] < asns[cur.via]) {
+				offers[vi] = offer
+			}
+		}
+	}
+	for vi, o := range offers {
+		r.Type[vi] = ViaPeer
+		r.NextHop[vi] = int32(o.via)
+		r.PathLen[vi] = o.len
+	}
+
+	// Phase 3: everything with a route exports to customers; provider
+	// routes propagate down. Dijkstra by path length (bucket queue) with
+	// min-ASN tie-break.
+	maxLen := uint16(n + 2)
+	buckets := make([][]int, maxLen+2)
+	for ui := 0; ui < n; ui++ {
+		if r.Type[ui] != Unreachable {
+			buckets[r.PathLen[ui]] = append(buckets[r.PathLen[ui]], ui)
+		}
+	}
+	for l := uint16(0); l <= maxLen; l++ {
+		// Deterministic next-hop choice among equal-length parents:
+		// collect candidates for this level first.
+		cands := map[int]int{}
+		for _, ui := range buckets[l] {
+			if r.PathLen[ui] != l || r.Type[ui] == Unreachable {
+				continue
+			}
+			u := top.ASes[asns[ui]]
+			for _, nb := range u.Neighbors {
+				if nb.Rel != topology.RelCustomer {
+					continue
+				}
+				ci, _ := top.Index(nb.ASN)
+				if r.Type[ci] != Unreachable {
+					continue
+				}
+				if cur, seen := cands[ci]; !seen || asns[ui] < asns[cur] {
+					cands[ci] = ui
+				}
+			}
+		}
+		for ci, via := range cands {
+			r.Type[ci] = ViaProvider
+			r.NextHop[ci] = int32(via)
+			r.PathLen[ci] = l + 1
+			if l+1 <= maxLen {
+				buckets[l+1] = append(buckets[l+1], ci)
+			}
+		}
+	}
+	return r
+}
+
+// Reachable reports whether src has a route to the origin.
+func (r *RIB) Reachable(src topology.ASN) bool {
+	i, ok := r.top.Index(src)
+	return ok && r.Type[i] != Unreachable
+}
+
+// PathFrom returns the AS path from src to the origin, inclusive of both
+// ends, or nil if unreachable.
+func (r *RIB) PathFrom(src topology.ASN) []topology.ASN {
+	i, ok := r.top.Index(src)
+	if !ok || r.Type[i] == Unreachable {
+		return nil
+	}
+	asns := r.top.ASNs()
+	path := []topology.ASN{src}
+	for r.Type[i] != Origin {
+		i = int(r.NextHop[i])
+		path = append(path, asns[i])
+		if len(path) > r.top.NumASes() {
+			panic("bgp: next-hop cycle")
+		}
+	}
+	return path
+}
+
+// HopsFrom returns the AS-path length in hops (0 = src is the origin), or
+// -1 if unreachable.
+func (r *RIB) HopsFrom(src topology.ASN) int {
+	i, ok := r.top.Index(src)
+	if !ok || r.Type[i] == Unreachable {
+		return -1
+	}
+	return int(r.PathLen[i])
+}
+
+// AllPaths holds RIBs for every origin in a topology.
+type AllPaths struct {
+	top  *topology.Topology
+	ribs []*RIB // by dense origin index
+}
+
+// ComputeAll computes RIBs for every origin, in parallel.
+func ComputeAll(top *topology.Topology) *AllPaths {
+	asns := top.ASNs()
+	ap := &AllPaths{top: top, ribs: make([]*RIB, len(asns))}
+	workers := runtime.GOMAXPROCS(0)
+	var wg sync.WaitGroup
+	ch := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ch {
+				ap.ribs[i] = ComputeRIB(top, asns[i])
+			}
+		}()
+	}
+	for i := range asns {
+		ch <- i
+	}
+	close(ch)
+	wg.Wait()
+	return ap
+}
+
+// RIBFor returns the RIB toward the given origin, or nil if unknown.
+func (ap *AllPaths) RIBFor(origin topology.ASN) *RIB {
+	i, ok := ap.top.Index(origin)
+	if !ok {
+		return nil
+	}
+	return ap.ribs[i]
+}
+
+// Path returns the AS path src→dst, or nil if unreachable.
+func (ap *AllPaths) Path(src, dst topology.ASN) []topology.ASN {
+	r := ap.RIBFor(dst)
+	if r == nil {
+		return nil
+	}
+	return r.PathFrom(src)
+}
+
+// Hops returns the AS-path length src→dst in hops, or -1.
+func (ap *AllPaths) Hops(src, dst topology.ASN) int {
+	r := ap.RIBFor(dst)
+	if r == nil {
+		return -1
+	}
+	return r.HopsFrom(src)
+}
+
+// Topology returns the topology these paths were computed on.
+func (ap *AllPaths) Topology() *topology.Topology { return ap.top }

@@ -1,0 +1,12 @@
+package core
+
+import (
+	"itmap/internal/bgp"
+	"itmap/internal/topology"
+)
+
+// bgpCompute is a seam for route computation on (partial) topologies, kept
+// separate so tests can count invocations if needed.
+func bgpCompute(top *topology.Topology, dst topology.ASN) *bgp.RIB {
+	return bgp.ComputeRIB(top, dst)
+}

@@ -1,0 +1,65 @@
+package core
+
+import "itmap/internal/topology"
+
+// DebiasByCountry corrects a cache-probing-derived per-AS activity signal
+// for uneven public-resolver adoption (§3.1.3): hit counts are proportional
+// to a country's adoption share, so dividing them out makes cross-country
+// comparisons meaningful. ASes in countries with unknown adoption keep
+// their raw values.
+func DebiasByCountry(byAS map[topology.ASN]float64, adoption map[string]float64, top *topology.Topology) map[topology.ASN]float64 {
+	out := make(map[topology.ASN]float64, len(byAS))
+	for asn, v := range byAS {
+		a := top.ASes[asn]
+		if a == nil {
+			out[asn] = v
+			continue
+		}
+		if share, ok := adoption[a.Country]; ok && share > 0.01 {
+			out[asn] = v / share
+		} else {
+			out[asn] = v
+		}
+	}
+	return out
+}
+
+// CountryShares normalizes a per-AS signal into per-country shares.
+func CountryShares(byAS map[topology.ASN]float64, top *topology.Topology) map[string]float64 {
+	out := map[string]float64{}
+	total := 0.0
+	for asn, v := range byAS {
+		a := top.ASes[asn]
+		if a == nil || a.Country == "ZZ" {
+			continue
+		}
+		out[a.Country] += v
+		total += v
+	}
+	if total > 0 {
+		for c := range out {
+			out[c] /= total
+		}
+	}
+	return out
+}
+
+// TVDistance is the total-variation distance between two share maps.
+func TVDistance(a, b map[string]float64) float64 {
+	seen := map[string]bool{}
+	total := 0.0
+	for k, av := range a {
+		d := av - b[k]
+		if d < 0 {
+			d = -d
+		}
+		total += d
+		seen[k] = true
+	}
+	for k, bv := range b {
+		if !seen[k] {
+			total += bv
+		}
+	}
+	return total / 2
+}

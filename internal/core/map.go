@@ -1,0 +1,240 @@
+// Package core assembles measurement outputs into the Internet traffic map
+// — the paper's primary contribution — and provides the analyses the map
+// enables: outage impact assessment, technique combination, and validation
+// against ground truth.
+package core
+
+import (
+	"sort"
+
+	"itmap/internal/dnssim"
+	"itmap/internal/geo"
+	"itmap/internal/measure/cacheprobe"
+	"itmap/internal/measure/rootlogs"
+	"itmap/internal/measure/tlsscan"
+	"itmap/internal/topology"
+)
+
+// ActivitySource records which techniques saw an AS.
+type ActivitySource uint8
+
+// Activity sources (bitmask).
+const (
+	FromCacheProbe ActivitySource = 1 << iota
+	FromRootLogs
+)
+
+// UsersComponent answers the map's first question: where are users, and
+// what are their relative activity levels?
+type UsersComponent struct {
+	// ActivePrefixes marks prefixes where cache probing found clients.
+	ActivePrefixes map[topology.PrefixID]bool
+	// PrefixHitRate is the cache-probing hit rate per prefix (where a
+	// hit-rate campaign ran).
+	PrefixHitRate map[topology.PrefixID]float64
+	// ASActivity is the combined relative-activity estimate per AS, in
+	// root-log-query-equivalent units.
+	ASActivity map[topology.ASN]float64
+	// Sources says which techniques contributed per AS.
+	Sources map[topology.ASN]ActivitySource
+}
+
+// MappingKey indexes the user→host mapping component.
+type MappingKey struct {
+	Domain   string
+	ClientAS topology.ASN
+}
+
+// ServicesComponent answers the second question: where are services hosted,
+// and what is the mapping from users to hosts?
+type ServicesComponent struct {
+	// Scan is the TLS/SNI-scan view of serving infrastructure.
+	Scan *tlsscan.Scan
+	// Mapping is the measured client-AS→serving-prefix mapping per
+	// domain, from ECS queries.
+	Mapping map[MappingKey]topology.PrefixID
+}
+
+// RoutesComponent answers the third question: what routes are commonly used
+// between services and users?
+type RoutesComponent struct {
+	// Observed is the public-view topology (route collectors +
+	// traceroute campaigns).
+	Observed *topology.Topology
+	// Augmented adds predicted/measured extra links (cloud campaigns,
+	// peering recommendations).
+	Augmented *topology.Topology
+}
+
+// PredictPath predicts src→dst on the best available topology.
+func (rc *RoutesComponent) PredictPath(src, dst topology.ASN) []topology.ASN {
+	top := rc.Augmented
+	if top == nil {
+		top = rc.Observed
+	}
+	if top == nil {
+		return nil
+	}
+	rib := bgpCompute(top, dst)
+	return rib.PathFrom(src)
+}
+
+// TrafficMap is the assembled Internet traffic map.
+type TrafficMap struct {
+	Top      *topology.Topology
+	Users    UsersComponent
+	Services ServicesComponent
+	Routes   RoutesComponent
+}
+
+// BuildInputs carries every measurement output the map combines.
+type BuildInputs struct {
+	Top *topology.Topology
+	// Discovery and HitRates come from cache probing.
+	Discovery *cacheprobe.Discovery
+	HitRates  *cacheprobe.HitRates
+	// RootCrawl comes from root-log crawling.
+	RootCrawl *rootlogs.Crawl
+	// PublicResolverOwner is excluded from resolver-based attribution.
+	PublicResolverOwner topology.ASN
+	// Scan is the TLS/SNI scan of the address space.
+	Scan *tlsscan.Scan
+	// Auth and PR let the builder measure user→host mappings with ECS
+	// queries (public DNS interfaces only).
+	Auth *dnssim.Authoritative
+	PR   *dnssim.PublicResolver
+	// MapDomains are the ECS domains to build mappings for.
+	MapDomains []string
+	// Observed/Augmented route topologies.
+	Observed  *topology.Topology
+	Augmented *topology.Topology
+}
+
+// BuildMap combines the measurement outputs into a traffic map, including
+// the §3.1.3 technique combination: root-log activity (a volume proxy at AS
+// grain) calibrated against cache hit rates (finer coverage), so ASes seen
+// by either technique get a relative-activity estimate in common units.
+func BuildMap(in BuildInputs) *TrafficMap {
+	m := &TrafficMap{
+		Top: in.Top,
+		Users: UsersComponent{
+			ActivePrefixes: map[topology.PrefixID]bool{},
+			PrefixHitRate:  map[topology.PrefixID]float64{},
+			ASActivity:     map[topology.ASN]float64{},
+			Sources:        map[topology.ASN]ActivitySource{},
+		},
+		Services: ServicesComponent{
+			Scan:    in.Scan,
+			Mapping: map[MappingKey]topology.PrefixID{},
+		},
+		Routes: RoutesComponent{Observed: in.Observed, Augmented: in.Augmented},
+	}
+
+	// --- Users: cache probing ------------------------------------------
+	asHit := map[topology.ASN]float64{}
+	asHitN := map[topology.ASN]float64{}
+	if in.Discovery != nil {
+		for p := range in.Discovery.Found {
+			m.Users.ActivePrefixes[p] = true
+			if asn, ok := in.Top.OwnerOf(p); ok {
+				m.Users.Sources[asn] |= FromCacheProbe
+			}
+		}
+	}
+	if in.HitRates != nil {
+		for p, hr := range in.HitRates.ByPrefix {
+			m.Users.PrefixHitRate[p] = hr
+			if asn, ok := in.Top.OwnerOf(p); ok {
+				asHit[asn] += hr
+				asHitN[asn]++
+				if hr > 0 {
+					m.Users.Sources[asn] |= FromCacheProbe
+				}
+			}
+		}
+	}
+
+	// --- Users: root logs ----------------------------------------------
+	rootAct := map[topology.ASN]float64{}
+	if in.RootCrawl != nil {
+		for asn, q := range in.RootCrawl.ClientASes(in.PublicResolverOwner) {
+			rootAct[asn] = q
+			m.Users.Sources[asn] |= FromRootLogs
+		}
+	}
+
+	// --- Combine: calibrate hit-rate sums into root-log units -----------
+	// Using ASes covered by both, estimate queries-per-hit-rate-unit via
+	// a median ratio, then fill cache-only ASes with calibrated values.
+	var ratios []float64
+	for asn, q := range rootAct {
+		if h := asHit[asn]; h > 0 {
+			ratios = append(ratios, q/h)
+		}
+	}
+	calib := 0.0
+	if len(ratios) > 0 {
+		sort.Float64s(ratios)
+		calib = ratios[len(ratios)/2]
+	}
+	// Each technique under-counts in different places (root logs miss
+	// outsourced-resolver networks and attribute their clients to the
+	// provider; cache probing misses public-DNS opt-outs), so the
+	// combined estimate takes the larger of the two signals.
+	for asn, q := range rootAct {
+		m.Users.ASActivity[asn] = q
+	}
+	if calib > 0 {
+		for asn, h := range asHit {
+			if v := h * calib; h > 0 && v > m.Users.ASActivity[asn] {
+				m.Users.ASActivity[asn] = v
+			}
+		}
+	}
+
+	// --- Services: user→host mapping via ECS ----------------------------
+	if in.Auth != nil && in.PR != nil {
+		for _, dom := range in.MapDomains {
+			for asn := range m.Users.Sources {
+				a := in.Top.ASes[asn]
+				if a == nil || len(a.Prefixes) == 0 {
+					continue
+				}
+				rep := a.Prefixes[0]
+				resolverAt := geo.Coord{}
+				if pop := in.PR.HomePoP(rep); pop != nil {
+					resolverAt = pop.City.Coord
+				}
+				ans, err := in.Auth.ResolveECS(dom, rep, resolverAt)
+				if err != nil {
+					continue
+				}
+				m.Services.Mapping[MappingKey{Domain: dom, ClientAS: asn}] = ans.Prefix
+			}
+		}
+	}
+	return m
+}
+
+// ActiveASes returns the ASes with any activity signal, ascending.
+func (m *TrafficMap) ActiveASes() []topology.ASN {
+	out := make([]topology.ASN, 0, len(m.Users.Sources))
+	for asn := range m.Users.Sources {
+		out = append(out, asn)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ActivityShare returns an AS's share of the map's total estimated
+// activity.
+func (m *TrafficMap) ActivityShare(asn topology.ASN) float64 {
+	total := 0.0
+	for _, v := range m.Users.ASActivity {
+		total += v
+	}
+	if total == 0 {
+		return 0
+	}
+	return m.Users.ASActivity[asn] / total
+}

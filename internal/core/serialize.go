@@ -1,0 +1,197 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"itmap/internal/topology"
+)
+
+// The JSON schema for a published traffic map. Maps are the artifact the
+// paper wants the community to share ("we hope the research community both
+// uses and encourages others to use the Internet traffic map"), so the
+// export carries only measured estimates — never simulator ground truth.
+
+// MapDocument is the serialized form of a TrafficMap.
+type MapDocument struct {
+	Version int `json:"version"`
+	// Users component.
+	ActivePrefixes []string           `json:"active_prefixes"`
+	PrefixHitRates map[string]float64 `json:"prefix_hit_rates,omitempty"`
+	ASActivity     map[string]float64 `json:"as_activity"`
+	Sources        map[string]string  `json:"sources"`
+	// Services component.
+	Servers  []ServerDocument  `json:"servers"`
+	Mappings []MappingDocument `json:"mappings"`
+}
+
+// ServerDocument is one discovered serving prefix.
+type ServerDocument struct {
+	Prefix  string `json:"prefix"`
+	HostAS  uint32 `json:"host_as"`
+	OwnerAS uint32 `json:"owner_as"`
+	Org     string `json:"org"`
+	City    string `json:"city"`
+	Country string `json:"country"`
+}
+
+// MappingDocument is one measured user→host mapping entry.
+type MappingDocument struct {
+	Domain   string `json:"domain"`
+	ClientAS uint32 `json:"client_as"`
+	Serving  string `json:"serving_prefix"`
+}
+
+const mapDocVersion = 1
+
+// Export writes the map's measured components as JSON.
+func (m *TrafficMap) Export(w io.Writer) error {
+	doc := MapDocument{
+		Version:        mapDocVersion,
+		PrefixHitRates: map[string]float64{},
+		ASActivity:     map[string]float64{},
+		Sources:        map[string]string{},
+	}
+	var actives []topology.PrefixID
+	for p := range m.Users.ActivePrefixes {
+		actives = append(actives, p)
+	}
+	sort.Slice(actives, func(i, j int) bool { return actives[i] < actives[j] })
+	for _, p := range actives {
+		doc.ActivePrefixes = append(doc.ActivePrefixes, p.String())
+	}
+	for p, hr := range m.Users.PrefixHitRate {
+		if hr > 0 {
+			doc.PrefixHitRates[p.String()] = hr
+		}
+	}
+	for asn, act := range m.Users.ASActivity {
+		doc.ASActivity[fmt.Sprintf("%d", asn)] = act
+	}
+	for asn, src := range m.Users.Sources {
+		doc.Sources[fmt.Sprintf("%d", asn)] = sourceString(src)
+	}
+	if m.Services.Scan != nil {
+		for _, s := range m.Services.Scan.Servers {
+			doc.Servers = append(doc.Servers, ServerDocument{
+				Prefix:  s.Prefix.String(),
+				HostAS:  uint32(s.HostAS),
+				OwnerAS: uint32(s.OwnerASN),
+				Org:     s.CertOrg,
+				City:    s.City.Name,
+				Country: s.City.Country,
+			})
+		}
+	}
+	var keys []MappingKey
+	for k := range m.Services.Mapping {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Domain != keys[j].Domain {
+			return keys[i].Domain < keys[j].Domain
+		}
+		return keys[i].ClientAS < keys[j].ClientAS
+	})
+	for _, k := range keys {
+		doc.Mappings = append(doc.Mappings, MappingDocument{
+			Domain:   k.Domain,
+			ClientAS: uint32(k.ClientAS),
+			Serving:  m.Services.Mapping[k].String(),
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+func sourceString(s ActivitySource) string {
+	switch s {
+	case FromCacheProbe:
+		return "cache-probe"
+	case FromRootLogs:
+		return "root-logs"
+	case FromCacheProbe | FromRootLogs:
+		return "cache-probe+root-logs"
+	default:
+		return "unknown"
+	}
+}
+
+func sourceFromString(s string) ActivitySource {
+	switch s {
+	case "cache-probe":
+		return FromCacheProbe
+	case "root-logs":
+		return FromRootLogs
+	case "cache-probe+root-logs":
+		return FromCacheProbe | FromRootLogs
+	default:
+		return 0
+	}
+}
+
+// ImportDocument parses a serialized map document.
+func ImportDocument(r io.Reader) (*MapDocument, error) {
+	var doc MapDocument
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("core: decoding map document: %w", err)
+	}
+	if doc.Version != mapDocVersion {
+		return nil, fmt.Errorf("core: unsupported map document version %d", doc.Version)
+	}
+	return &doc, nil
+}
+
+// ImportUsers reconstructs the users component from a document (the
+// services/routes components need live scan objects and are not restored).
+func ImportUsers(doc *MapDocument) (UsersComponent, error) {
+	uc := UsersComponent{
+		ActivePrefixes: map[topology.PrefixID]bool{},
+		PrefixHitRate:  map[topology.PrefixID]float64{},
+		ASActivity:     map[topology.ASN]float64{},
+		Sources:        map[topology.ASN]ActivitySource{},
+	}
+	for _, s := range doc.ActivePrefixes {
+		p, err := parsePrefix(s)
+		if err != nil {
+			return uc, err
+		}
+		uc.ActivePrefixes[p] = true
+	}
+	for s, hr := range doc.PrefixHitRates {
+		p, err := parsePrefix(s)
+		if err != nil {
+			return uc, err
+		}
+		uc.PrefixHitRate[p] = hr
+	}
+	for s, act := range doc.ASActivity {
+		var asn uint32
+		if _, err := fmt.Sscanf(s, "%d", &asn); err != nil {
+			return uc, fmt.Errorf("core: bad ASN %q: %w", s, err)
+		}
+		uc.ASActivity[topology.ASN(asn)] = act
+	}
+	for s, src := range doc.Sources {
+		var asn uint32
+		if _, err := fmt.Sscanf(s, "%d", &asn); err != nil {
+			return uc, fmt.Errorf("core: bad ASN %q: %w", s, err)
+		}
+		uc.Sources[topology.ASN(asn)] = sourceFromString(src)
+	}
+	return uc, nil
+}
+
+func parsePrefix(s string) (topology.PrefixID, error) {
+	var a, b, c, bits int
+	if _, err := fmt.Sscanf(s, "%d.%d.%d.0/%d", &a, &b, &c, &bits); err != nil {
+		return 0, fmt.Errorf("core: bad prefix %q: %w", s, err)
+	}
+	if bits != 24 {
+		return 0, fmt.Errorf("core: prefix %q is not a /24", s)
+	}
+	return topology.PrefixID(a<<16 | b<<8 | c), nil
+}

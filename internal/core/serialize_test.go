@@ -1,0 +1,92 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestExportImportRoundTrip(t *testing.T) {
+	_, m := buildFullMap(t, 21)
+	var buf bytes.Buffer
+	if err := m.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := ImportDocument(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.ActivePrefixes) != len(m.Users.ActivePrefixes) {
+		t.Errorf("active prefixes %d vs %d", len(doc.ActivePrefixes), len(m.Users.ActivePrefixes))
+	}
+	if len(doc.Servers) != len(m.Services.Scan.Servers) {
+		t.Errorf("servers %d vs %d", len(doc.Servers), len(m.Services.Scan.Servers))
+	}
+	if len(doc.Mappings) != len(m.Services.Mapping) {
+		t.Errorf("mappings %d vs %d", len(doc.Mappings), len(m.Services.Mapping))
+	}
+
+	uc, err := ImportUsers(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := range m.Users.ActivePrefixes {
+		if !uc.ActivePrefixes[p] {
+			t.Fatalf("prefix %v lost in round trip", p)
+		}
+	}
+	for asn, act := range m.Users.ASActivity {
+		if got := uc.ASActivity[asn]; got != act {
+			t.Fatalf("activity for AS %d: %f vs %f", asn, got, act)
+		}
+	}
+	for asn, src := range m.Users.Sources {
+		if uc.Sources[asn] != src {
+			t.Fatalf("source for AS %d lost", asn)
+		}
+	}
+}
+
+func TestExportDeterministic(t *testing.T) {
+	_, m := buildFullMap(t, 22)
+	var a, b bytes.Buffer
+	if err := m.Export(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Export(&b); err != nil {
+		t.Fatal(err)
+	}
+	// ASActivity/Sources are JSON maps (key-sorted by encoding/json), and
+	// slices are explicitly sorted, so output is byte-identical.
+	if a.String() != b.String() {
+		t.Error("export is not deterministic")
+	}
+}
+
+func TestImportRejectsBadInput(t *testing.T) {
+	if _, err := ImportDocument(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ImportDocument(strings.NewReader(`{"version": 99}`)); err == nil {
+		t.Error("future version accepted")
+	}
+	doc := &MapDocument{Version: 1, ActivePrefixes: []string{"zzz"}}
+	if _, err := ImportUsers(doc); err == nil {
+		t.Error("bad prefix accepted")
+	}
+	doc = &MapDocument{Version: 1, ActivePrefixes: []string{"10.0.0.0/8"}}
+	if _, err := ImportUsers(doc); err == nil {
+		t.Error("non-/24 prefix accepted")
+	}
+}
+
+func TestParsePrefixRoundTrip(t *testing.T) {
+	_, m := buildFullMap(t, 23)
+	for p := range m.Users.ActivePrefixes {
+		got, err := parsePrefix(p.String())
+		if err != nil || got != p {
+			t.Fatalf("parsePrefix(%q) = %v, %v", p.String(), got, err)
+		}
+		break
+	}
+}

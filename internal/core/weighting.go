@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"itmap/internal/stats"
+	"itmap/internal/topology"
+	"itmap/internal/traffic"
+)
+
+// WeightingReport is the paper's thesis as a reusable analysis: for the
+// metrics researchers habitually compute unweighted, show how the answer
+// changes once each element is weighted by the traffic it actually
+// carries. Feed it to reviewers of the next unweighted CDF.
+type WeightingReport struct {
+	// PathLen contrasts the AS-path-length distribution per route
+	// (unweighted) against per byte carried (weighted).
+	PathLen WeightingContrast
+	// ASImportance contrasts two AS rankings: by degree (the classic
+	// topology-paper metric) and by carried traffic.
+	ASImportance RankContrast
+	// LinkImportance contrasts link rankings: every link equal vs by
+	// carried load.
+	LinkImportance RankContrast
+}
+
+// WeightingContrast is one metric under both weightings.
+type WeightingContrast struct {
+	UnweightedMedian float64
+	WeightedMedian   float64
+	// FracShortUnweighted/Weighted: share with value <= 1 (the paper's
+	// "one hop away" statistic).
+	FracShortUnweighted float64
+	FracShortWeighted   float64
+}
+
+// RankContrast compares two rankings of the same elements.
+type RankContrast struct {
+	// Spearman between the two rankings' scores.
+	Spearman float64
+	// TopOverlap is |top-10 ∩ top-10| / 10.
+	TopOverlap float64
+	// TopUnweighted / TopWeighted name the leaders under each ranking.
+	TopUnweighted string
+	TopWeighted   string
+}
+
+// BuildWeightingReport computes the report from ground truth (or from a
+// map-estimated matrix — anything exposing flows and loads).
+func BuildWeightingReport(top *topology.Topology, mx *traffic.Matrix) WeightingReport {
+	var rep WeightingReport
+
+	// Path lengths: per flow (route) vs per byte.
+	var unweighted, weighted stats.WeightedCDF
+	for _, f := range mx.Flows {
+		if f.Hops < 0 {
+			continue
+		}
+		unweighted.Add(float64(f.Hops), 1)
+		weighted.Add(float64(f.Hops), f.Bytes)
+	}
+	rep.PathLen = WeightingContrast{
+		UnweightedMedian:    unweighted.Quantile(0.5),
+		WeightedMedian:      weighted.Quantile(0.5),
+		FracShortUnweighted: unweighted.FracAtMost(1),
+		FracShortWeighted:   weighted.FracAtMost(1),
+	}
+
+	// AS importance: degree vs carried traffic.
+	var asns []topology.ASN
+	var deg, load []float64
+	for _, asn := range top.ASNs() {
+		asns = append(asns, asn)
+		deg = append(deg, float64(len(top.ASes[asn].Neighbors)))
+		load = append(load, mx.ASLoad[asn])
+	}
+	rep.ASImportance = rankContrast(asns, deg, load, func(a topology.ASN) string {
+		return fmt.Sprintf("%s(AS%d)", top.ASes[a].Name, a)
+	})
+
+	// Link importance: uniform vs load.
+	links := top.Links()
+	var linkIdx []topology.ASN // reuse index slots; names built separately
+	var uni, lload []float64
+	names := make([]string, len(links))
+	for i, l := range links {
+		linkIdx = append(linkIdx, topology.ASN(i))
+		uni = append(uni, 1)
+		lload = append(lload, mx.LinkLoad[topology.MakeLinkKey(l.A, l.B)])
+		names[i] = fmt.Sprintf("%d-%d", l.A, l.B)
+	}
+	rep.LinkImportance = rankContrast(linkIdx, uni, lload, func(i topology.ASN) string {
+		return names[int(i)]
+	})
+	return rep
+}
+
+// rankContrast builds the comparison between two scorings of elements.
+func rankContrast[T comparable](elems []T, a, b []float64, name func(T) string) RankContrast {
+	rc := RankContrast{Spearman: stats.Spearman(a, b)}
+	topOf := func(scores []float64) ([]T, T) {
+		idx := make([]int, len(elems))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(x, y int) bool { return scores[idx[x]] > scores[idx[y]] })
+		k := 10
+		if k > len(idx) {
+			k = len(idx)
+		}
+		out := make([]T, k)
+		for i := 0; i < k; i++ {
+			out[i] = elems[idx[i]]
+		}
+		var first T
+		if len(out) > 0 {
+			first = out[0]
+		}
+		return out, first
+	}
+	ta, fa := topOf(a)
+	tb, fb := topOf(b)
+	inA := map[T]bool{}
+	for _, e := range ta {
+		inA[e] = true
+	}
+	overlap := 0
+	for _, e := range tb {
+		if inA[e] {
+			overlap++
+		}
+	}
+	if len(tb) > 0 {
+		rc.TopOverlap = float64(overlap) / float64(len(tb))
+	}
+	rc.TopUnweighted = name(fa)
+	rc.TopWeighted = name(fb)
+	return rc
+}
+
+// String renders the report for humans.
+func (r WeightingReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "path length: median %g hops per route vs %g per byte; <=1 hop: %.1f%% of routes vs %.1f%% of bytes\n",
+		r.PathLen.UnweightedMedian, r.PathLen.WeightedMedian,
+		r.PathLen.FracShortUnweighted*100, r.PathLen.FracShortWeighted*100)
+	fmt.Fprintf(&b, "AS importance: degree-vs-traffic Spearman %.2f, top-10 overlap %.0f%% (degree leader %s, traffic leader %s)\n",
+		r.ASImportance.Spearman, r.ASImportance.TopOverlap*100,
+		r.ASImportance.TopUnweighted, r.ASImportance.TopWeighted)
+	fmt.Fprintf(&b, "link importance: uniform-vs-load top-10 overlap %.0f%%\n",
+		r.LinkImportance.TopOverlap*100)
+	return b.String()
+}

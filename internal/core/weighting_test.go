@@ -1,0 +1,54 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"itmap/internal/world"
+)
+
+func TestWeightingReportShapes(t *testing.T) {
+	w := world.Build(world.Tiny(61))
+	mx := w.Traffic.BuildMatrix()
+	rep := BuildWeightingReport(w.Top, mx)
+
+	// The paper's thesis: weighting shortens paths dramatically.
+	if rep.PathLen.FracShortWeighted <= rep.PathLen.FracShortUnweighted {
+		t.Errorf("weighting did not shorten paths: %.2f vs %.2f",
+			rep.PathLen.FracShortWeighted, rep.PathLen.FracShortUnweighted)
+	}
+	if rep.PathLen.WeightedMedian > rep.PathLen.UnweightedMedian {
+		t.Errorf("weighted median %g > unweighted %g",
+			rep.PathLen.WeightedMedian, rep.PathLen.UnweightedMedian)
+	}
+	// Degree and traffic rank ASes differently but not randomly.
+	if rep.ASImportance.Spearman <= 0 || rep.ASImportance.Spearman >= 0.999 {
+		t.Errorf("degree-vs-traffic Spearman %.3f implausible", rep.ASImportance.Spearman)
+	}
+	if rep.ASImportance.TopOverlap < 0 || rep.ASImportance.TopOverlap > 1 {
+		t.Fatalf("overlap %f", rep.ASImportance.TopOverlap)
+	}
+	if rep.ASImportance.TopUnweighted == "" || rep.ASImportance.TopWeighted == "" {
+		t.Error("missing leaders")
+	}
+	// Link importance under uniform weighting is meaningless by design:
+	// overlap with load ranking should be low.
+	if rep.LinkImportance.TopOverlap > 0.8 {
+		t.Errorf("uniform link ranking matches load ranking at %.0f%%",
+			rep.LinkImportance.TopOverlap*100)
+	}
+	out := rep.String()
+	for _, want := range []string{"path length", "AS importance", "link importance"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report rendering missing %q", want)
+		}
+	}
+}
+
+func TestWeightingReportEmptyMatrix(t *testing.T) {
+	w := world.Build(world.Tiny(62))
+	mx := w.Traffic.BuildMatrix()
+	mx.Flows = nil
+	rep := BuildWeightingReport(w.Top, mx)
+	_ = rep.String() // must not panic on NaN medians
+}

@@ -1,0 +1,81 @@
+package dnssim
+
+import (
+	"fmt"
+
+	"itmap/internal/geo"
+	"itmap/internal/services"
+	"itmap/internal/topology"
+)
+
+// Authoritative models the authoritative DNS of every service in a catalog:
+// the redirection decision of §3.2. ECS-supporting services localize on the
+// client's /24; others only see the recursive resolver.
+type Authoritative struct {
+	top *topology.Topology
+	cat *services.Catalog
+}
+
+// NewAuthoritative wraps a catalog.
+func NewAuthoritative(top *topology.Topology, cat *services.Catalog) *Authoritative {
+	return &Authoritative{top: top, cat: cat}
+}
+
+// Answer is an authoritative response: the serving prefix handed to the
+// client, and the site behind it (nil for anycast answers, where the
+// landing site depends on BGP, not DNS).
+type Answer struct {
+	Prefix topology.PrefixID
+	Site   *services.Site
+}
+
+// ResolveECS answers a query for domain carrying the client's /24 in ECS.
+// Services without ECS support ignore the option and fall back to the
+// resolver location (resolverAt), which callers must supply.
+func (au *Authoritative) ResolveECS(domain string, client topology.PrefixID, resolverAt geo.Coord) (Answer, error) {
+	svc, ok := au.cat.ByDomain(domain)
+	if !ok {
+		return Answer{}, fmt.Errorf("dnssim: NXDOMAIN %s", domain)
+	}
+	if svc.Kind == services.Anycast {
+		d := au.cat.Deployments[svc.Owner]
+		return Answer{Prefix: d.AnycastPrefix}, nil
+	}
+	at := resolverAt
+	if svc.ECS {
+		if city, ok := au.top.PrefixCity[client]; ok {
+			at = city.Coord
+		}
+	}
+	// In-network off-net caches win when the client's AS hosts one.
+	if svc.ECS {
+		if owner, ok := au.top.OwnerOf(client); ok {
+			if site, has := au.cat.OffNetFor(svc.Owner, owner); has {
+				return Answer{Prefix: site.Prefix, Site: site}, nil
+			}
+		}
+	}
+	site := au.cat.NearestSiteTo(svc.Owner, at)
+	if site == nil {
+		return Answer{}, fmt.Errorf("dnssim: %s has no deployment", domain)
+	}
+	return Answer{Prefix: site.Prefix, Site: site}, nil
+}
+
+// ResolveFrom answers a query arriving from a resolver at the given
+// location with no usable ECS.
+func (au *Authoritative) ResolveFrom(domain string, resolverAt geo.Coord) (Answer, error) {
+	svc, ok := au.cat.ByDomain(domain)
+	if !ok {
+		return Answer{}, fmt.Errorf("dnssim: NXDOMAIN %s", domain)
+	}
+	if svc.Kind == services.Anycast {
+		d := au.cat.Deployments[svc.Owner]
+		return Answer{Prefix: d.AnycastPrefix}, nil
+	}
+	site := au.cat.NearestSiteTo(svc.Owner, resolverAt)
+	if site == nil {
+		return Answer{}, fmt.Errorf("dnssim: %s has no deployment", domain)
+	}
+	return Answer{Prefix: site.Prefix, Site: site}, nil
+}

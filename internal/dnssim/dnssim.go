@@ -1,0 +1,202 @@
+// Package dnssim models the DNS machinery the paper's measurement
+// techniques exploit:
+//
+//   - a Google-Public-DNS-like public resolver with regional PoPs whose
+//     caches are keyed by ⟨PoP, domain, ECS /24 scope⟩ and expire after the
+//     record TTL — the substrate for §3.1.2 approach 1 (cache probing);
+//   - the root server system with per-letter query logs capturing
+//     Chromium's random-label interception probes — §3.1.2 approach 2;
+//   - per-service authoritative behaviour (ECS-aware or resolver-based
+//     redirection) — §3.2.
+//
+// Cache state is virtual: instead of materializing billions of cache
+// entries, a probe consults the client query rate feeding that entry and
+// draws a deterministic Bernoulli with p = 1 − exp(−rate·TTL), evaluated
+// once per TTL window. This is exactly the occupancy distribution of a
+// TTL cache under Poisson arrivals, at a millionth of the memory.
+package dnssim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"itmap/internal/geo"
+	"itmap/internal/randx"
+	"itmap/internal/services"
+	"itmap/internal/simtime"
+	"itmap/internal/topology"
+)
+
+// PoP is one public-resolver point of presence.
+type PoP struct {
+	ID   int
+	Name string
+	City geo.City
+}
+
+// RateSource supplies client DNS query rates. The traffic model implements
+// it; dnssim stays independent of demand modelling.
+type RateSource interface {
+	// PublicResolverQueryRate returns the rate (queries per simulated
+	// hour) at which clients in the /24 scope query the public resolver
+	// for domain, at time t.
+	PublicResolverQueryRate(domain string, scope topology.PrefixID, t simtime.Time) float64
+}
+
+// PublicResolver models the public DNS service ("GPDNS" in comments).
+type PublicResolver struct {
+	top   *topology.Topology
+	cat   *services.Catalog
+	rates RateSource
+	seed  uint64
+
+	// Owner is the hypergiant operating the resolver; root-log entries
+	// for its egress queries attribute to this AS.
+	Owner topology.ASN
+	PoPs  []*PoP
+
+	homeMu sync.RWMutex
+	home   map[topology.PrefixID]int // prefix -> PoP ID
+}
+
+// NewPublicResolver places PoPs at every region hub and in every country
+// with more than 60M Internet users present in the world.
+func NewPublicResolver(top *topology.Topology, cat *services.Catalog, owner topology.ASN, seed int64) *PublicResolver {
+	pr := &PublicResolver{
+		top:   top,
+		cat:   cat,
+		seed:  uint64(seed),
+		Owner: owner,
+		home:  map[topology.PrefixID]int{},
+	}
+	seen := map[string]bool{}
+	addPoP := func(city geo.City) {
+		if seen[city.Name] {
+			return
+		}
+		seen[city.Name] = true
+		pr.PoPs = append(pr.PoPs, &PoP{ID: len(pr.PoPs), Name: city.Name, City: city})
+	}
+	for _, r := range geo.Regions() {
+		if hub := geo.RegionHub(r); hub.Name != "" {
+			addPoP(hub)
+		}
+	}
+	// Countries actually present in the world (with eyeballs).
+	present := map[string]bool{}
+	for _, a := range top.ASes {
+		if a.Type == topology.Eyeball {
+			present[a.Country] = true
+		}
+	}
+	var codes []string
+	for c := range present {
+		codes = append(codes, c)
+	}
+	sort.Strings(codes)
+	for _, code := range codes {
+		c, err := geo.CountryByCode(code)
+		if err == nil && c.InternetUsersM > 60 {
+			addPoP(c.Capital)
+		}
+	}
+	return pr
+}
+
+// SetRateSource wires in the demand model. Must be called before probing.
+func (pr *PublicResolver) SetRateSource(rs RateSource) { pr.rates = rs }
+
+// Catalog returns the service catalog the resolver serves (public
+// knowledge: every record's TTL is visible in responses).
+func (pr *PublicResolver) Catalog() *services.Catalog { return pr.cat }
+
+// HomePoP returns the PoP that serves clients in the given prefix (the
+// nearest PoP; clients reach the resolver via anycast). Safe for concurrent
+// use: probing campaigns fan out across goroutines.
+func (pr *PublicResolver) HomePoP(p topology.PrefixID) *PoP {
+	pr.homeMu.RLock()
+	id, ok := pr.home[p]
+	pr.homeMu.RUnlock()
+	if ok {
+		return pr.PoPs[id]
+	}
+	city, ok := pr.top.PrefixCity[p]
+	if !ok {
+		return nil
+	}
+	best, bestDist := 0, math.Inf(1)
+	for _, pop := range pr.PoPs {
+		d := geo.DistanceKm(city.Coord, pop.City.Coord)
+		if d < bestDist {
+			best, bestDist = pop.ID, d
+		}
+	}
+	pr.homeMu.Lock()
+	pr.home[p] = best
+	pr.homeMu.Unlock()
+	return pr.PoPs[best]
+}
+
+// AdoptionShare returns the fraction of a country's DNS queries sent to the
+// public resolver. Globally ~30-35% (the paper cites [16]), with per-country
+// skew — one of the biases §3.1.3 says must be mitigated.
+func (pr *PublicResolver) AdoptionShare(countryCode string) float64 {
+	j := randx.HashLognormal(0, 0.30, pr.seed, 0xadf0, hashString(countryCode))
+	s := 0.32 * j
+	return math.Max(0.10, math.Min(0.55, s))
+}
+
+// ProbeCache issues a non-recursive (RD=0) query for domain with the given
+// ECS prefix against a specific PoP at time t, reporting whether the record
+// is cached there. Probes do not populate the cache. For ECS-supporting
+// services the cache entry is scoped to the /24; for others the scope
+// collapses to the whole PoP and per-prefix attribution is impossible —
+// exactly the limitation the paper notes.
+func (pr *PublicResolver) ProbeCache(popID int, domain string, ecs topology.PrefixID, t simtime.Time) (bool, error) {
+	if pr.rates == nil {
+		return false, fmt.Errorf("dnssim: no rate source wired")
+	}
+	if popID < 0 || popID >= len(pr.PoPs) {
+		return false, fmt.Errorf("dnssim: unknown PoP %d", popID)
+	}
+	svc, ok := pr.cat.ByDomain(domain)
+	if !ok {
+		return false, fmt.Errorf("dnssim: NXDOMAIN %s", domain)
+	}
+	if !svc.ECS || svc.Kind == services.Anycast {
+		return false, fmt.Errorf("dnssim: %s does not support per-prefix ECS scoping", domain)
+	}
+	// The entry exists only at the clients' home PoP.
+	if home := pr.HomePoP(ecs); home == nil || home.ID != popID {
+		return false, nil
+	}
+	ttl := simtime.Seconds(float64(svc.TTLSeconds))
+	rate := pr.rates.PublicResolverQueryRate(domain, ecs, t)
+	p := 1 - math.Exp(-rate*float64(ttl))
+	window := uint64(math.Floor(float64(t / ttl)))
+	hit := randx.HashBool(p, pr.seed, 0xcac4e, uint64(popID), hashString(domain), uint64(ecs), window)
+	return hit, nil
+}
+
+// ResolverOfAS returns the prefix hosting an AS's ISP resolver (its first
+// prefix; the resolver answers at .53). Root-log entries from clients using
+// their ISP resolver carry this prefix.
+func ResolverOfAS(top *topology.Topology, asn topology.ASN) (topology.PrefixID, bool) {
+	a, ok := top.ASes[asn]
+	if !ok || len(a.Prefixes) == 0 {
+		return 0, false
+	}
+	return a.Prefixes[0], true
+}
+
+func hashString(s string) uint64 {
+	// FNV-1a.
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

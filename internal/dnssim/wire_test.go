@@ -1,0 +1,171 @@
+package dnssim
+
+import (
+	"net"
+	"net/netip"
+	"testing"
+
+	"itmap/internal/dnswire"
+	"itmap/internal/simtime"
+	"itmap/internal/topology"
+)
+
+// wireSetup builds a frontend over a tiny world plus a constant rate table.
+func wireSetup(t testing.TB, seed int64) (*topology.Topology, *WireFrontend, *constRate) {
+	t.Helper()
+	top, cat, pr := setup(t, seed)
+	cr := &constRate{rates: map[string]map[topology.PrefixID]float64{}}
+	pr.SetRateSource(cr)
+	fe := &WireFrontend{PR: pr, Auth: NewAuthoritative(top, cat), PoP: 0}
+	return top, fe, cr
+}
+
+func ecsSvc(t testing.TB, fe *WireFrontend) string {
+	t.Helper()
+	for _, s := range fe.PR.cat.Services {
+		if s.ECS && s.Kind.String() != "anycast" {
+			return s.Domain
+		}
+	}
+	t.Fatal("no ECS service")
+	return ""
+}
+
+// prefixHomedAt finds a user prefix homed at the frontend's PoP.
+func prefixHomedAt(t testing.TB, top *topology.Topology, fe *WireFrontend) topology.PrefixID {
+	t.Helper()
+	for _, asn := range top.ASesOfType(topology.Eyeball) {
+		for _, p := range top.ASes[asn].Prefixes {
+			if fe.PR.HomePoP(p).ID == fe.PoP {
+				return p
+			}
+		}
+	}
+	t.Skip("no prefix homed at PoP 0")
+	return 0
+}
+
+func TestWireProbeHitAndMiss(t *testing.T) {
+	top, fe, cr := wireSetup(t, 1)
+	domain := ecsSvc(t, fe)
+	p := prefixHomedAt(t, top, fe)
+	netPrefix := netip.PrefixFrom(p.Addr(0), 24)
+
+	// Idle prefix: probe misses (NOERROR, no answers).
+	q := dnswire.NewQuery(42, domain, false).WithECS(netPrefix)
+	raw, _ := q.Encode()
+	resp, err := dnswire.Decode(fe.Handle(raw, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Rcode != dnswire.RcodeNoError || len(resp.Answers) != 0 {
+		t.Fatalf("idle probe: %+v", resp)
+	}
+	// Hot prefix: probe hits and returns the cached record with scope.
+	cr.rates[domain] = map[topology.PrefixID]float64{p: 1e9}
+	resp, err = dnswire.Decode(fe.Handle(raw, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Answers) != 1 {
+		t.Fatalf("hot probe got %d answers", len(resp.Answers))
+	}
+	if resp.ECS == nil || resp.ECS.ScopePrefixLen != 24 {
+		t.Errorf("scope not echoed: %+v", resp.ECS)
+	}
+	if resp.ID != 42 || !resp.QR {
+		t.Errorf("header wrong: %+v", resp)
+	}
+}
+
+func TestWireRecursiveResolution(t *testing.T) {
+	top, fe, _ := wireSetup(t, 2)
+	domain := ecsSvc(t, fe)
+	p := top.ASes[top.ASesOfType(topology.Eyeball)[0]].Prefixes[0]
+	q := dnswire.NewQuery(7, domain, true).WithECS(netip.PrefixFrom(p.Addr(0), 24))
+	raw, _ := q.Encode()
+	resp, err := dnswire.Decode(fe.Handle(raw, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Answers) != 1 {
+		t.Fatalf("recursive got %d answers", len(resp.Answers))
+	}
+	// The answer matches the authoritative's direct resolution.
+	ans, err := fe.Auth.ResolveECS(domain, p, fe.PR.PoPs[0].City.Coord)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Answers[0] != ans.Prefix.Addr(1) {
+		t.Errorf("wire answer %v != authoritative %v", resp.Answers[0], ans.Prefix)
+	}
+}
+
+func TestWireErrorPaths(t *testing.T) {
+	_, fe, _ := wireSetup(t, 3)
+	// NXDOMAIN for unknown names.
+	q := dnswire.NewQuery(1, "nope.example", true)
+	raw, _ := q.Encode()
+	resp, _ := dnswire.Decode(fe.Handle(raw, 1))
+	if resp.Rcode != dnswire.RcodeNXDomain {
+		t.Errorf("unknown name rcode %d", resp.Rcode)
+	}
+	// RD=0 without ECS is refused (nothing to scope the probe to).
+	domain := ecsSvc(t, fe)
+	q = dnswire.NewQuery(2, domain, false)
+	raw, _ = q.Encode()
+	resp, _ = dnswire.Decode(fe.Handle(raw, 1))
+	if resp.Rcode != dnswire.RcodeRefused {
+		t.Errorf("scopeless probe rcode %d", resp.Rcode)
+	}
+	// Garbage is dropped.
+	if fe.Handle([]byte{1, 2, 3}, 1) != nil {
+		t.Error("garbage got a response")
+	}
+	// Responses are ignored (no loops).
+	m := &dnswire.Message{ID: 3, QR: true, QName: domain, QType: dnswire.TypeA, QClass: dnswire.ClassIN}
+	raw, _ = m.Encode()
+	if fe.Handle(raw, 1) != nil {
+		t.Error("response packet got a response")
+	}
+}
+
+func TestWireOverUDP(t *testing.T) {
+	top, fe, cr := wireSetup(t, 4)
+	domain := ecsSvc(t, fe)
+	p := prefixHomedAt(t, top, fe)
+	cr.rates[domain] = map[topology.PrefixID]float64{p: 1e9}
+
+	conn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- fe.ServeUDP(conn, func() simtime.Time { return 1 }) }()
+
+	client, err := DialWireClient(conn.LocalAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	hit, err := client.Probe(domain, netip.PrefixFrom(p.Addr(0), 24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Error("UDP probe missed a hot prefix")
+	}
+	addrs, err := client.Resolve(domain, netip.PrefixFrom(p.Addr(0), 24))
+	if err != nil || len(addrs) != 1 {
+		t.Fatalf("UDP resolve: %v, %v", addrs, err)
+	}
+	if _, err := client.Resolve("nope.example", netip.PrefixFrom(p.Addr(0), 24)); err == nil {
+		t.Error("NXDOMAIN not surfaced over UDP")
+	}
+
+	conn.Close()
+	if err := <-done; err != nil {
+		t.Fatalf("server exited with %v", err)
+	}
+}

@@ -1,0 +1,351 @@
+// Package dnswire encodes and decodes the DNS wire format the measurement
+// tools speak: RFC 1035 messages with EDNS0 (RFC 6891) and the Client
+// Subnet option (RFC 7871). Cache probing is, on the wire, nothing more
+// than an A query with RD=0 and an ECS option; this package produces and
+// parses exactly those bytes, so the simulator's resolver front end handles
+// the same packets a real prober would send.
+package dnswire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+	"strings"
+)
+
+// Error values returned by the decoder.
+var (
+	ErrTruncatedMessage = errors.New("dnswire: truncated message")
+	ErrBadName          = errors.New("dnswire: malformed name")
+	ErrBadOption        = errors.New("dnswire: malformed EDNS option")
+)
+
+// Record types and classes used by the tools.
+const (
+	TypeA    uint16 = 1
+	TypeTXT  uint16 = 16
+	TypeOPT  uint16 = 41
+	TypeAAAA uint16 = 28
+
+	ClassIN uint16 = 1
+)
+
+// Response codes.
+const (
+	RcodeNoError  uint8 = 0
+	RcodeNXDomain uint8 = 3
+	RcodeRefused  uint8 = 5
+)
+
+// Header flag bits (in the second 16-bit word).
+const (
+	flagQR uint16 = 1 << 15
+	flagRD uint16 = 1 << 8
+	flagRA uint16 = 1 << 7
+)
+
+// ClientSubnet is the RFC 7871 EDNS0 option payload.
+type ClientSubnet struct {
+	// Prefix is the client subnet (family derived from the address).
+	Prefix netip.Prefix
+	// ScopePrefixLen is the scope the responder applied (0 in queries).
+	ScopePrefixLen uint8
+}
+
+// Message is a DNS message restricted to what the tools need: one question,
+// A-record answers, and an optional ECS option.
+type Message struct {
+	ID uint16
+	// QR is true for responses.
+	QR bool
+	// RD is the recursion-desired flag; cache probes clear it.
+	RD bool
+	// RA mirrors the server's recursion-available flag.
+	RA    bool
+	Rcode uint8
+
+	QName  string
+	QType  uint16
+	QClass uint16
+
+	// Answers holds A-record addresses with a shared TTL.
+	Answers   []netip.Addr
+	AnswerTTL uint32
+
+	// ECS carries the client-subnet option if present.
+	ECS *ClientSubnet
+}
+
+// NewQuery builds a query message for an A record.
+func NewQuery(id uint16, name string, recurse bool) *Message {
+	return &Message{ID: id, RD: recurse, QName: name, QType: TypeA, QClass: ClassIN}
+}
+
+// WithECS attaches a client-subnet option.
+func (m *Message) WithECS(prefix netip.Prefix) *Message {
+	m.ECS = &ClientSubnet{Prefix: prefix}
+	return m
+}
+
+// appendName encodes a domain name in uncompressed wire format.
+func appendName(b []byte, name string) ([]byte, error) {
+	name = strings.TrimSuffix(name, ".")
+	if name != "" {
+		for _, label := range strings.Split(name, ".") {
+			if len(label) == 0 || len(label) > 63 {
+				return nil, fmt.Errorf("%w: label %q", ErrBadName, label)
+			}
+			b = append(b, byte(len(label)))
+			b = append(b, label...)
+		}
+	}
+	return append(b, 0), nil
+}
+
+// Encode serializes the message.
+func (m *Message) Encode() ([]byte, error) {
+	b := make([]byte, 12, 64+len(m.QName))
+	binary.BigEndian.PutUint16(b[0:], m.ID)
+	var flags uint16
+	if m.QR {
+		flags |= flagQR
+	}
+	if m.RD {
+		flags |= flagRD
+	}
+	if m.RA {
+		flags |= flagRA
+	}
+	flags |= uint16(m.Rcode & 0x0f)
+	binary.BigEndian.PutUint16(b[2:], flags)
+	binary.BigEndian.PutUint16(b[4:], 1) // QDCOUNT
+	binary.BigEndian.PutUint16(b[6:], uint16(len(m.Answers)))
+	binary.BigEndian.PutUint16(b[8:], 0) // NSCOUNT
+	arcount := 0
+	if m.ECS != nil {
+		arcount = 1
+	}
+	binary.BigEndian.PutUint16(b[10:], uint16(arcount))
+
+	var err error
+	b, err = appendName(b, m.QName)
+	if err != nil {
+		return nil, err
+	}
+	b = binary.BigEndian.AppendUint16(b, m.QType)
+	b = binary.BigEndian.AppendUint16(b, m.QClass)
+
+	for _, addr := range m.Answers {
+		b, err = appendName(b, m.QName)
+		if err != nil {
+			return nil, err
+		}
+		typ := TypeA
+		raw := addr.AsSlice()
+		if addr.Is6() {
+			typ = TypeAAAA
+		}
+		b = binary.BigEndian.AppendUint16(b, typ)
+		b = binary.BigEndian.AppendUint16(b, ClassIN)
+		b = binary.BigEndian.AppendUint32(b, m.AnswerTTL)
+		b = binary.BigEndian.AppendUint16(b, uint16(len(raw)))
+		b = append(b, raw...)
+	}
+
+	if m.ECS != nil {
+		b, err = appendOPT(b, m.ECS)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+// appendOPT writes the OPT pseudo-record carrying the ECS option.
+func appendOPT(b []byte, ecs *ClientSubnet) ([]byte, error) {
+	b = append(b, 0)                              // root name
+	b = binary.BigEndian.AppendUint16(b, TypeOPT) // TYPE
+	b = binary.BigEndian.AppendUint16(b, 4096)    // UDP payload size
+	b = binary.BigEndian.AppendUint32(b, 0)       // extended RCODE+flags
+
+	addr := ecs.Prefix.Addr()
+	family := uint16(1)
+	if addr.Is6() {
+		family = 2
+	}
+	bits := ecs.Prefix.Bits()
+	if bits < 0 {
+		return nil, fmt.Errorf("%w: invalid prefix", ErrBadOption)
+	}
+	nBytes := (bits + 7) / 8
+	raw := addr.AsSlice()[:nBytes]
+
+	optData := make([]byte, 0, 8+nBytes)
+	optData = binary.BigEndian.AppendUint16(optData, family)
+	optData = append(optData, byte(bits), ecs.ScopePrefixLen)
+	optData = append(optData, raw...)
+
+	rdata := make([]byte, 0, 4+len(optData))
+	rdata = binary.BigEndian.AppendUint16(rdata, 8) // OPTION-CODE: ECS
+	rdata = binary.BigEndian.AppendUint16(rdata, uint16(len(optData)))
+	rdata = append(rdata, optData...)
+
+	b = binary.BigEndian.AppendUint16(b, uint16(len(rdata)))
+	return append(b, rdata...), nil
+}
+
+// Decode parses a message produced by Encode (no name compression, as is
+// standard for queries and the responses our resolver emits).
+func Decode(b []byte) (*Message, error) {
+	if len(b) < 12 {
+		return nil, ErrTruncatedMessage
+	}
+	m := &Message{}
+	m.ID = binary.BigEndian.Uint16(b[0:])
+	flags := binary.BigEndian.Uint16(b[2:])
+	m.QR = flags&flagQR != 0
+	m.RD = flags&flagRD != 0
+	m.RA = flags&flagRA != 0
+	m.Rcode = uint8(flags & 0x0f)
+	qd := binary.BigEndian.Uint16(b[4:])
+	an := binary.BigEndian.Uint16(b[6:])
+	ar := binary.BigEndian.Uint16(b[10:])
+	if qd != 1 {
+		return nil, fmt.Errorf("dnswire: unsupported QDCOUNT %d", qd)
+	}
+	off := 12
+	var err error
+	m.QName, off, err = readName(b, off)
+	if err != nil {
+		return nil, err
+	}
+	if off+4 > len(b) {
+		return nil, ErrTruncatedMessage
+	}
+	m.QType = binary.BigEndian.Uint16(b[off:])
+	m.QClass = binary.BigEndian.Uint16(b[off+2:])
+	off += 4
+
+	for i := 0; i < int(an); i++ {
+		_, noff, err := readName(b, off)
+		if err != nil {
+			return nil, err
+		}
+		off = noff
+		if off+10 > len(b) {
+			return nil, ErrTruncatedMessage
+		}
+		typ := binary.BigEndian.Uint16(b[off:])
+		m.AnswerTTL = binary.BigEndian.Uint32(b[off+4:])
+		rdlen := int(binary.BigEndian.Uint16(b[off+8:]))
+		off += 10
+		if off+rdlen > len(b) {
+			return nil, ErrTruncatedMessage
+		}
+		if typ == TypeA || typ == TypeAAAA {
+			addr, ok := netip.AddrFromSlice(b[off : off+rdlen])
+			if !ok {
+				return nil, fmt.Errorf("dnswire: bad address rdata length %d", rdlen)
+			}
+			m.Answers = append(m.Answers, addr)
+		}
+		off += rdlen
+	}
+
+	for i := 0; i < int(ar); i++ {
+		_, noff, err := readName(b, off)
+		if err != nil {
+			return nil, err
+		}
+		off = noff
+		if off+10 > len(b) {
+			return nil, ErrTruncatedMessage
+		}
+		typ := binary.BigEndian.Uint16(b[off:])
+		rdlen := int(binary.BigEndian.Uint16(b[off+8:]))
+		off += 10
+		if off+rdlen > len(b) {
+			return nil, ErrTruncatedMessage
+		}
+		if typ == TypeOPT {
+			ecs, err := parseECS(b[off : off+rdlen])
+			if err != nil {
+				return nil, err
+			}
+			m.ECS = ecs
+		}
+		off += rdlen
+	}
+	return m, nil
+}
+
+// readName decodes an uncompressed name starting at off.
+func readName(b []byte, off int) (string, int, error) {
+	var labels []string
+	for {
+		if off >= len(b) {
+			return "", 0, ErrTruncatedMessage
+		}
+		l := int(b[off])
+		off++
+		if l == 0 {
+			break
+		}
+		if l > 63 {
+			return "", 0, fmt.Errorf("%w: compression unsupported", ErrBadName)
+		}
+		if off+l > len(b) {
+			return "", 0, ErrTruncatedMessage
+		}
+		labels = append(labels, string(b[off:off+l]))
+		off += l
+	}
+	return strings.Join(labels, "."), off, nil
+}
+
+// parseECS extracts the first ECS option from OPT rdata.
+func parseECS(rdata []byte) (*ClientSubnet, error) {
+	off := 0
+	for off+4 <= len(rdata) {
+		code := binary.BigEndian.Uint16(rdata[off:])
+		olen := int(binary.BigEndian.Uint16(rdata[off+2:]))
+		off += 4
+		if off+olen > len(rdata) {
+			return nil, ErrBadOption
+		}
+		if code != 8 {
+			off += olen
+			continue
+		}
+		opt := rdata[off : off+olen]
+		if len(opt) < 4 {
+			return nil, ErrBadOption
+		}
+		family := binary.BigEndian.Uint16(opt[0:])
+		bits := int(opt[2])
+		scope := opt[3]
+		addrLen := 4
+		if family == 2 {
+			addrLen = 16
+		} else if family != 1 {
+			return nil, fmt.Errorf("%w: family %d", ErrBadOption, family)
+		}
+		nBytes := (bits + 7) / 8
+		if nBytes > addrLen || len(opt) < 4+nBytes {
+			return nil, ErrBadOption
+		}
+		raw := make([]byte, addrLen)
+		copy(raw, opt[4:4+nBytes])
+		addr, ok := netip.AddrFromSlice(raw)
+		if !ok {
+			return nil, ErrBadOption
+		}
+		p, err := addr.Prefix(bits)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadOption, err)
+		}
+		return &ClientSubnet{Prefix: p, ScopePrefixLen: scope}, nil
+	}
+	return nil, nil
+}

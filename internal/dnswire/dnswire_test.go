@@ -1,0 +1,199 @@
+package dnswire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func TestQueryRoundTrip(t *testing.T) {
+	q := NewQuery(0xBEEF, "search.vortex.example", false).
+		WithECS(netip.MustParsePrefix("203.0.113.0/24"))
+	b, err := q.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != 0xBEEF || got.QR || got.RD {
+		t.Errorf("header lost: %+v", got)
+	}
+	if got.QName != "search.vortex.example" || got.QType != TypeA || got.QClass != ClassIN {
+		t.Errorf("question lost: %+v", got)
+	}
+	if got.ECS == nil || got.ECS.Prefix != netip.MustParsePrefix("203.0.113.0/24") {
+		t.Errorf("ECS lost: %+v", got.ECS)
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	m := &Message{
+		ID: 7, QR: true, RA: true, Rcode: RcodeNoError,
+		QName: "edge.megacdn.example", QType: TypeA, QClass: ClassIN,
+		Answers:   []netip.Addr{netip.MustParseAddr("192.0.2.1"), netip.MustParseAddr("192.0.2.2")},
+		AnswerTTL: 60,
+		ECS: &ClientSubnet{
+			Prefix:         netip.MustParsePrefix("198.51.100.0/24"),
+			ScopePrefixLen: 24,
+		},
+	}
+	b, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.QR || !got.RA || got.Rcode != RcodeNoError {
+		t.Errorf("flags lost: %+v", got)
+	}
+	if len(got.Answers) != 2 || got.Answers[0] != m.Answers[0] || got.AnswerTTL != 60 {
+		t.Errorf("answers lost: %+v", got)
+	}
+	if got.ECS == nil || got.ECS.ScopePrefixLen != 24 {
+		t.Errorf("ECS scope lost: %+v", got.ECS)
+	}
+}
+
+func TestHeaderGoldenBytes(t *testing.T) {
+	q := NewQuery(0x0102, "a.example", true)
+	b, err := q.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ID 0x0102; flags: RD only = 0x0100; QDCOUNT 1.
+	want := []byte{0x01, 0x02, 0x01, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00}
+	if !bytes.Equal(b[:12], want) {
+		t.Errorf("header = % x, want % x", b[:12], want)
+	}
+	// Question: 1"a" 7"example" 0, type A, class IN.
+	wantQ := append([]byte{1, 'a', 7}, []byte("example")...)
+	wantQ = append(wantQ, 0, 0, 1, 0, 1)
+	if !bytes.Equal(b[12:], wantQ) {
+		t.Errorf("question = % x, want % x", b[12:], wantQ)
+	}
+}
+
+func TestECSGoldenOption(t *testing.T) {
+	q := NewQuery(1, "x.example", false).WithECS(netip.MustParsePrefix("10.20.30.0/24"))
+	b, err := q.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The OPT record sits at the end: find OPTION-CODE 8 and verify the
+	// payload: family 1, source 24, scope 0, 3 address bytes.
+	idx := bytes.Index(b, []byte{0x00, 0x08, 0x00, 0x07})
+	if idx < 0 {
+		t.Fatalf("ECS option not found in % x", b)
+	}
+	opt := b[idx+4 : idx+4+7]
+	want := []byte{0x00, 0x01, 24, 0, 10, 20, 30}
+	if !bytes.Equal(opt, want) {
+		t.Errorf("ECS payload = % x, want % x", opt, want)
+	}
+}
+
+func TestIPv6ECS(t *testing.T) {
+	q := NewQuery(2, "x.example", false).WithECS(netip.MustParsePrefix("2001:db8::/48"))
+	b, err := q.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ECS == nil || got.ECS.Prefix.String() != "2001:db8::/48" {
+		t.Errorf("v6 ECS lost: %+v", got.ECS)
+	}
+}
+
+func TestRejectBadNames(t *testing.T) {
+	long := make([]byte, 70)
+	for i := range long {
+		long[i] = 'a'
+	}
+	q := NewQuery(1, string(long)+".example", false)
+	if _, err := q.Encode(); !errors.Is(err, ErrBadName) {
+		t.Errorf("64-byte label accepted: %v", err)
+	}
+	q = NewQuery(1, "a..example", false)
+	if _, err := q.Encode(); !errors.Is(err, ErrBadName) {
+		t.Errorf("empty label accepted: %v", err)
+	}
+}
+
+func TestDecodeRejectsTruncation(t *testing.T) {
+	q := NewQuery(9, "probe.example", false).WithECS(netip.MustParsePrefix("1.2.3.0/24"))
+	b, err := q.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 1; cut < len(b); cut++ {
+		if _, err := Decode(b[:cut]); err == nil {
+			// Some prefixes may parse as a smaller valid message
+			// only if counts allow; with QDCOUNT=1 they cannot.
+			t.Fatalf("truncated to %d bytes still decoded", cut)
+		}
+	}
+	if _, err := Decode(nil); !errors.Is(err, ErrTruncatedMessage) {
+		t.Error("nil input accepted")
+	}
+}
+
+func TestDecodeFuzzNoPanic(t *testing.T) {
+	f := func(raw []byte) bool {
+		// Must never panic, whatever the input.
+		_, _ = Decode(raw)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(id uint16, a, b, c byte, bits uint8, recurse bool) bool {
+		p, err := netip.MustParseAddr("0.0.0.0").Prefix(0)
+		_ = p
+		prefix, err := netip.AddrFrom4([4]byte{a, b, c, 0}).Prefix(int(bits%25) + 8)
+		if err != nil {
+			return false
+		}
+		q := NewQuery(id, "svc.example", recurse).WithECS(prefix)
+		raw, err := q.Encode()
+		if err != nil {
+			return false
+		}
+		got, err := Decode(raw)
+		if err != nil {
+			return false
+		}
+		return got.ID == id && got.RD == recurse && got.ECS != nil &&
+			got.ECS.Prefix == prefix && got.QName == "svc.example"
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRcodeEncoding(t *testing.T) {
+	m := &Message{ID: 1, QR: true, Rcode: RcodeNXDomain, QName: "no.example", QType: TypeA, QClass: ClassIN}
+	b, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flags := binary.BigEndian.Uint16(b[2:]); flags&0x0f != uint16(RcodeNXDomain) {
+		t.Errorf("rcode bits = %x", flags&0x0f)
+	}
+	got, err := Decode(b)
+	if err != nil || got.Rcode != RcodeNXDomain {
+		t.Errorf("rcode lost: %+v, %v", got, err)
+	}
+}

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Value is one paper-vs-measured comparison line.
+type Value struct {
+	Name     string
+	Paper    string // what the paper reports
+	Measured string // what this reproduction measures
+	Pass     bool   // does the qualitative shape hold?
+}
+
+// Series is one numeric series backing a figure.
+type Series struct {
+	Name   string
+	Labels []string
+	Values []float64
+}
+
+// Result is one experiment's outcome.
+type Result struct {
+	ID     string
+	Title  string
+	Values []Value
+	Series []Series
+	Notes  string
+}
+
+// Pass reports whether every value's shape held.
+func (r *Result) Pass() bool {
+	for _, v := range r.Values {
+		if !v.Pass {
+			return false
+		}
+	}
+	return true
+}
+
+// Format renders results as a plain-text report.
+func Format(results []*Result) string {
+	var b strings.Builder
+	for _, r := range results {
+		status := "PASS"
+		if !r.Pass() {
+			status = "FAIL"
+		}
+		fmt.Fprintf(&b, "== %s: %s [%s]\n", r.ID, r.Title, status)
+		for _, v := range r.Values {
+			mark := "ok "
+			if !v.Pass {
+				mark = "!! "
+			}
+			fmt.Fprintf(&b, "  %s%-44s paper: %-28s measured: %s\n", mark, v.Name, v.Paper, v.Measured)
+		}
+		for _, s := range r.Series {
+			fmt.Fprintf(&b, "  series %s:\n", s.Name)
+			for i, lbl := range s.Labels {
+				fmt.Fprintf(&b, "    %-24s %12.4g\n", lbl, s.Values[i])
+			}
+		}
+		if r.Notes != "" {
+			fmt.Fprintf(&b, "  note: %s\n", r.Notes)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Markdown renders results as the EXPERIMENTS.md body.
+func Markdown(results []*Result) string {
+	var b strings.Builder
+	for _, r := range results {
+		status := "PASS"
+		if !r.Pass() {
+			status = "FAIL"
+		}
+		fmt.Fprintf(&b, "### %s — %s (%s)\n\n", r.ID, r.Title, status)
+		b.WriteString("| Quantity | Paper | Measured | Shape holds |\n|---|---|---|---|\n")
+		for _, v := range r.Values {
+			mark := "yes"
+			if !v.Pass {
+				mark = "NO"
+			}
+			fmt.Fprintf(&b, "| %s | %s | %s | %s |\n", v.Name, v.Paper, v.Measured, mark)
+		}
+		if r.Notes != "" {
+			fmt.Fprintf(&b, "\n%s\n", r.Notes)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// WriteSeriesCSV writes every result's series as CSV files under dir
+// (<id>-<series-index>.csv with label,value rows) so figures can be
+// re-plotted with standard tools. Returns the files written.
+func WriteSeriesCSV(results []*Result, dir string) ([]string, error) {
+	var files []string
+	for _, r := range results {
+		for si, s := range r.Series {
+			name := filepath.Join(dir, fmt.Sprintf("%s-%d.csv", strings.ToLower(r.ID), si))
+			var b strings.Builder
+			fmt.Fprintf(&b, "# %s: %s — %s\nlabel,value\n", r.ID, r.Title, s.Name)
+			for i, lbl := range s.Labels {
+				fmt.Fprintf(&b, "%q,%g\n", lbl, s.Values[i])
+			}
+			if err := os.WriteFile(name, []byte(b.String()), 0o644); err != nil {
+				return files, err
+			}
+			files = append(files, name)
+		}
+	}
+	return files, nil
+}
+
+func pct(f float64) string  { return fmt.Sprintf("%.1f%%", 100*f) }
+func pct0(f float64) string { return fmt.Sprintf("%.0f%%", 100*f) }

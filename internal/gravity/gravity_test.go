@@ -1,0 +1,92 @@
+package gravity
+
+import (
+	"math"
+	"testing"
+
+	"itmap/internal/topology"
+	"itmap/internal/world"
+)
+
+func truthPairs(w *world.World) (map[Pair]float64, map[topology.ASN]float64, map[topology.ASN]float64) {
+	mx := w.Traffic.BuildMatrix()
+	truth := map[Pair]float64{}
+	rows := map[topology.ASN]float64{}
+	cols := map[topology.ASN]float64{}
+	for _, f := range mx.Flows {
+		owner := w.Cat.Services[f.Svc].Owner
+		truth[Pair{f.ClientAS, owner}] += f.Bytes
+		rows[f.ClientAS] += f.Bytes
+		cols[owner] += f.Bytes
+	}
+	return truth, rows, cols
+}
+
+func TestGravityRecoversProductStructure(t *testing.T) {
+	w := world.Build(world.Tiny(1))
+	truth, rows, cols := truthPairs(w)
+	c := Complete(rows, cols)
+	ev := Evaluate(c, truth)
+	if ev.Cells < 100 {
+		t.Fatalf("only %d cells", ev.Cells)
+	}
+	// Demand is near product-form, so gravity from true marginals must
+	// reconstruct the matrix well — the premise of completion work.
+	if ev.RankCorr < 0.8 {
+		t.Errorf("rank corr %.2f, want > 0.8", ev.RankCorr)
+	}
+	if ev.WeightedMAPE > 0.6 {
+		t.Errorf("weighted MAPE %.2f, want < 0.6", ev.WeightedMAPE)
+	}
+}
+
+func TestMarginalsPreserved(t *testing.T) {
+	w := world.Build(world.Tiny(2))
+	_, rows, cols := truthPairs(w)
+	c := Complete(rows, cols)
+	// Row sums of the estimate equal the row marginals.
+	estRows := map[topology.ASN]float64{}
+	for pair, v := range c.Est {
+		estRows[pair.Client] += v
+	}
+	for client, want := range rows {
+		if got := estRows[client]; math.Abs(got-want) > 1e-6*want {
+			t.Fatalf("row %d: %.0f vs %.0f", client, got, want)
+		}
+	}
+}
+
+func TestEmptyMarginals(t *testing.T) {
+	c := Complete(nil, nil)
+	if len(c.Est) != 0 || c.Total != 0 {
+		t.Error("empty marginals should give empty completion")
+	}
+	ev := Evaluate(c, map[Pair]float64{{1, 2}: 5})
+	if ev.Cells != 1 || ev.MedianAPE != 1 {
+		t.Errorf("missing estimate should be 100%% APE, got %+v", ev)
+	}
+}
+
+func TestNoisyMarginalsDegradeGracefully(t *testing.T) {
+	w := world.Build(world.Tiny(3))
+	truth, rows, cols := truthPairs(w)
+	exact := Evaluate(Complete(rows, cols), truth)
+	// Perturb rows by ±30%: accuracy degrades but rank structure holds.
+	noisy := map[topology.ASN]float64{}
+	i := 0
+	for asn, v := range rows {
+		f := 0.7
+		if i%2 == 0 {
+			f = 1.3
+		}
+		noisy[asn] = v * f
+		i++
+	}
+	approx := Evaluate(Complete(noisy, cols), truth)
+	if approx.RankCorr < exact.RankCorr-0.2 {
+		t.Errorf("rank corr collapsed under noise: %.2f vs %.2f", approx.RankCorr, exact.RankCorr)
+	}
+	if approx.WeightedMAPE < exact.WeightedMAPE {
+		t.Error("noise should not improve accuracy")
+	}
+}

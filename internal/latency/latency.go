@@ -1,0 +1,106 @@
+// Package latency models round-trip times between points in the simulated
+// Internet. RTT is what constraint-based geolocation (§3.2.3 approach 3)
+// measures: propagation delay bounds how far a target can be from a vantage
+// point. The model combines great-circle propagation at fiber speed with a
+// path-length detour factor, per-hop processing delay, and jitter — enough
+// structure that naive geolocation is wrong in the ways it is wrong on the
+// real Internet (detours inflate RTT, so pure speed-of-light inversion
+// over-estimates distance).
+package latency
+
+import (
+	"math"
+
+	"itmap/internal/bgp"
+	"itmap/internal/geo"
+	"itmap/internal/randx"
+	"itmap/internal/topology"
+)
+
+// Speed of light in fiber: ~200 km/ms one way, so RTT accrues at ~100 km/ms
+// of geographic distance.
+const (
+	// KmPerMsRTT is the distance covered per millisecond of RTT under
+	// ideal great-circle fiber: c/1.5 / 2 ≈ 100 km per RTT-ms.
+	KmPerMsRTT = 100.0
+	// perHopMs is queueing/processing delay per AS hop, each way.
+	perHopMs = 0.35
+	// detourFactor inflates geographic distance: fiber does not follow
+	// great circles.
+	detourFactor = 1.25
+)
+
+// Model computes RTTs over a topology and its routing.
+type Model struct {
+	top  *topology.Topology
+	ap   *bgp.AllPaths
+	seed uint64
+	// JitterMean is the mean of the additive queueing-delay noise, as a
+	// fraction of the propagation floor. Noise is strictly additive:
+	// no measurement can beat the speed of light, which is what makes
+	// RTT a sound geolocation constraint.
+	JitterMean float64
+}
+
+// New builds an RTT model.
+func New(top *topology.Topology, ap *bgp.AllPaths, seed int64) *Model {
+	return &Model{top: top, ap: ap, seed: uint64(seed), JitterMean: 0.08}
+}
+
+// RTTms returns one measured round-trip time in milliseconds between an
+// address in prefix src and one in prefix dst, for the probe sequence
+// number seq (distinct seq values give independent jitter; the minimum over
+// several probes approaches the propagation floor, as with real pings).
+func (m *Model) RTTms(src, dst topology.PrefixID, seq int) (float64, bool) {
+	base, ok := m.BaseRTTms(src, dst)
+	if !ok {
+		return 0, false
+	}
+	u := randx.HashFloat(m.seed, 0x277, uint64(src), uint64(dst), uint64(seq))
+	if u < 1e-12 {
+		u = 1e-12
+	}
+	extra := -math.Log(u) * m.JitterMean * base // exponential queueing delay
+	return base + extra, true
+}
+
+// BaseRTTms returns the jitter-free propagation+processing RTT.
+func (m *Model) BaseRTTms(src, dst topology.PrefixID) (float64, bool) {
+	sCity, okS := m.top.PrefixCity[src]
+	dCity, okD := m.top.PrefixCity[dst]
+	if !okS || !okD {
+		return 0, false
+	}
+	sAS, _ := m.top.OwnerOf(src)
+	dAS, _ := m.top.OwnerOf(dst)
+	hops := 0
+	if sAS != dAS {
+		h := m.ap.Hops(sAS, dAS)
+		if h < 0 {
+			return 0, false
+		}
+		hops = h
+	}
+	km := geo.DistanceKm(sCity.Coord, dCity.Coord) * detourFactor
+	return km/KmPerMsRTT + 2*perHopMs*float64(hops) + 0.2, true
+}
+
+// MinRTTms returns the minimum of n probe RTTs — the standard way to
+// approach the propagation floor.
+func (m *Model) MinRTTms(src, dst topology.PrefixID, n int) (float64, bool) {
+	if n < 1 {
+		n = 1
+	}
+	best := 0.0
+	ok := false
+	for i := 0; i < n; i++ {
+		rtt, valid := m.RTTms(src, dst, i)
+		if !valid {
+			return 0, false
+		}
+		if !ok || rtt < best {
+			best, ok = rtt, true
+		}
+	}
+	return best, ok
+}

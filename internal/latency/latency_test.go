@@ -1,0 +1,130 @@
+package latency
+
+import (
+	"math"
+	"testing"
+
+	"itmap/internal/bgp"
+	"itmap/internal/topology"
+	"itmap/internal/world"
+)
+
+func model(t testing.TB, seed int64) (*world.World, *Model) {
+	t.Helper()
+	w := world.Build(world.Tiny(seed))
+	return w, New(w.Top, w.Paths, seed)
+}
+
+func TestRTTGrowsWithDistance(t *testing.T) {
+	w, m := model(t, 1)
+	// Two eyeballs in the same country vs different regions.
+	var us1, us2, jp topology.PrefixID
+	for _, asn := range w.Top.ASesOfType(topology.Eyeball) {
+		a := w.Top.ASes[asn]
+		switch a.Country {
+		case "US":
+			if us1 == 0 {
+				us1 = a.Prefixes[0]
+			} else if us2 == 0 {
+				us2 = a.Prefixes[0]
+			}
+		case "JP", "CN", "IN", "ID":
+			if jp == 0 {
+				jp = a.Prefixes[0]
+			}
+		}
+	}
+	if us1 == 0 || us2 == 0 || jp == 0 {
+		t.Skip("world lacks the test countries")
+	}
+	near, ok1 := m.BaseRTTms(us1, us2)
+	far, ok2 := m.BaseRTTms(us1, jp)
+	if !ok1 || !ok2 {
+		t.Fatal("unreachable prefixes")
+	}
+	if far <= near {
+		t.Errorf("cross-region RTT %.1f <= in-country RTT %.1f", far, near)
+	}
+	// Transpacific should be in a plausible absolute range at the
+	// modelled fiber speed (order 100+ ms).
+	if far < 60 || far > 400 {
+		t.Errorf("cross-region RTT %.1f ms implausible", far)
+	}
+}
+
+func TestRTTBoundsDistance(t *testing.T) {
+	w, m := model(t, 2)
+	ps := w.Top.AllPrefixes()
+	checked := 0
+	for i := 0; i < len(ps) && checked < 300; i += 97 {
+		for j := i + 1; j < len(ps) && checked < 300; j += 193 {
+			base, ok := m.BaseRTTms(ps[i], ps[j])
+			if !ok {
+				continue
+			}
+			checked++
+			kmBound := base * KmPerMsRTT
+			trueKm := distKm(w, ps[i], ps[j])
+			if trueKm > kmBound {
+				t.Fatalf("true distance %.0f km exceeds RTT bound %.0f km", trueKm, kmBound)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no pairs checked")
+	}
+}
+
+func distKm(w *world.World, a, b topology.PrefixID) float64 {
+	ca := w.Top.PrefixCity[a]
+	cb := w.Top.PrefixCity[b]
+	return geoDist(ca.Coord.Lat, ca.Coord.Lon, cb.Coord.Lat, cb.Coord.Lon)
+}
+
+// geoDist duplicates the haversine independently so the RTT-bound check
+// does not rely on the same code under test.
+func geoDist(lat1, lon1, lat2, lon2 float64) float64 {
+	const r = 6371.0
+	toRad := func(d float64) float64 { return d * math.Pi / 180 }
+	dLat := toRad(lat2 - lat1)
+	dLon := toRad(lon2 - lon1)
+	s1 := math.Sin(dLat / 2)
+	s2 := math.Sin(dLon / 2)
+	a := s1*s1 + math.Cos(toRad(lat1))*math.Cos(toRad(lat2))*s2*s2
+	return 2 * r * math.Asin(math.Min(1, math.Sqrt(a)))
+}
+
+func TestMinRTTConverges(t *testing.T) {
+	w, m := model(t, 3)
+	ps := w.Top.AllPrefixes()
+	src, dst := ps[0], ps[len(ps)-1]
+	base, ok := m.BaseRTTms(src, dst)
+	if !ok {
+		t.Fatal("unreachable")
+	}
+	one, _ := m.MinRTTms(src, dst, 1)
+	many, _ := m.MinRTTms(src, dst, 30)
+	if many > one {
+		t.Error("min over more probes increased")
+	}
+	// Noise is additive, so no probe can beat the floor; with 30 probes
+	// the min should be within a few percent of it.
+	if many < base || many > base*1.10 {
+		t.Errorf("min RTT %.2f vs base %.2f out of range", many, base)
+	}
+}
+
+func TestRTTUnreachable(t *testing.T) {
+	w := world.Build(world.Tiny(4))
+	// Routing over a peering-free subgraph leaves giants unreachable.
+	sub := w.Top.Subgraph(func(l topology.LinkInfo) bool {
+		return l.Kind == topology.TransitLink
+	})
+	ap := bgp.ComputeAll(sub)
+	m := New(sub, ap, 4)
+	hg := sub.ASesOfType(topology.Hypergiant)[0]
+	eyeball := sub.ASesOfType(topology.Eyeball)[0]
+	if _, ok := m.BaseRTTms(sub.ASes[eyeball].Prefixes[0], sub.ASes[hg].Prefixes[0]); ok {
+		t.Error("RTT computed across unreachable pair")
+	}
+}

@@ -1,0 +1,93 @@
+package botfilter
+
+import (
+	"testing"
+
+	"itmap/internal/measure/cacheprobe"
+	"itmap/internal/topology"
+	"itmap/internal/world"
+)
+
+func classifyEnterprises(t testing.TB, w *world.World, limit int) []Verdict {
+	t.Helper()
+	pb := &cacheprobe.Prober{PR: w.PR}
+	c := NewClassifier(pb, w.Cat.ECSDomains()[:10])
+	var out []Verdict
+	for _, asn := range w.Top.ASesOfType(topology.Enterprise) {
+		for _, p := range w.Top.ASes[asn].Prefixes {
+			v, err := c.Classify(w.Top, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, v)
+			if limit > 0 && len(out) >= limit {
+				return out
+			}
+		}
+	}
+	return out
+}
+
+func TestClassifierSeparatesBotsFromPeople(t *testing.T) {
+	w := world.Build(world.Tiny(1))
+	verdicts := classifyEnterprises(t, w, 0)
+	ev := Evaluate(verdicts, w.Traffic.IsBotPrefix)
+	if ev.Observed < 12 {
+		t.Fatalf("only %d prefixes observed", ev.Observed)
+	}
+	if ev.Precision < 0.85 {
+		t.Errorf("human precision %.2f, want >= 0.85", ev.Precision)
+	}
+	if ev.Recall < 0.6 {
+		t.Errorf("human recall %.2f, want >= 0.6", ev.Recall)
+	}
+	if ev.BotRecall < 0.6 {
+		t.Errorf("bot recall %.2f, want >= 0.6", ev.BotRecall)
+	}
+}
+
+func TestGroundTruthHasBots(t *testing.T) {
+	w := world.Build(world.Tiny(2))
+	bots, total := 0, 0
+	for _, asn := range w.Top.ASesOfType(topology.Enterprise) {
+		for _, p := range w.Top.ASes[asn].Prefixes {
+			total++
+			if w.Traffic.IsBotPrefix(p) {
+				bots++
+			}
+		}
+	}
+	if bots == 0 || bots == total {
+		t.Fatalf("bot farms %d of %d implausible", bots, total)
+	}
+	// Bots never appear outside enterprise space.
+	for _, asn := range w.Top.ASesOfType(topology.Eyeball)[:5] {
+		for _, p := range w.Top.ASes[asn].Prefixes {
+			if w.Traffic.IsBotPrefix(p) {
+				t.Fatalf("eyeball prefix %v marked bot", p)
+			}
+		}
+	}
+}
+
+func TestUnobservedPrefixNotClassified(t *testing.T) {
+	w := world.Build(world.Tiny(3))
+	pb := &cacheprobe.Prober{PR: w.PR}
+	c := NewClassifier(pb, w.Cat.ECSDomains()[:3])
+	// Infrastructure prefix: no users, no hits.
+	hg := w.Top.ASesOfType(topology.Hypergiant)[0]
+	v, err := c.Classify(w.Top, w.Top.ASes[hg].Prefixes[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Observed || v.Human {
+		t.Errorf("silent prefix classified: %+v", v)
+	}
+}
+
+func TestEvaluateEdgeCases(t *testing.T) {
+	ev := Evaluate(nil, func(topology.PrefixID) bool { return false })
+	if ev.Observed != 0 || ev.Precision != 0 {
+		t.Error("empty evaluation not zero")
+	}
+}

@@ -1,0 +1,173 @@
+// Package cacheprobe implements the paper's §3.1.2 approach 1: discovering
+// which prefixes host active clients by issuing non-recursive, ECS-tagged
+// queries for popular domains against the public resolver's PoP caches.
+// A cache hit for ⟨domain, prefix⟩ means a client in that prefix queried the
+// domain within the record's TTL — a binary activity signal that, sampled
+// over a day, becomes a relative-activity estimate (§3.1.3, Figure 2).
+package cacheprobe
+
+import (
+	"math"
+	"sort"
+
+	"itmap/internal/dnssim"
+	"itmap/internal/simtime"
+	"itmap/internal/topology"
+)
+
+func mathLog(x float64) float64 { return math.Log(x) }
+
+// Prober drives cache-probing campaigns.
+type Prober struct {
+	PR *dnssim.PublicResolver
+	// Domains are the popular ECS-supporting domains to probe
+	// (catalog.ECSDomains()); non-ECS domains cannot be localized.
+	Domains []string
+}
+
+// Discovery is the result of a prefix-discovery sweep (Figure 1a/1b input).
+type Discovery struct {
+	// Found marks prefixes with at least one cache hit.
+	Found map[topology.PrefixID]bool
+	// FoundASes marks ASes owning at least one found prefix.
+	FoundASes map[topology.ASN]bool
+	// ByPoP counts discovered prefixes per probed PoP (Figure 1a).
+	ByPoP map[int]int
+	// Probes is the total probe count issued.
+	Probes int
+}
+
+// DiscoverPrefixes sweeps all given prefixes: for each prefix it probes the
+// prefix's home PoP for every domain at `rounds` times spread across one
+// simulated day starting at start. More rounds catch lower-activity
+// prefixes (more TTL windows sampled).
+func (pb *Prober) DiscoverPrefixes(top *topology.Topology, prefixes []topology.PrefixID, start simtime.Time, rounds int) (*Discovery, error) {
+	if rounds < 1 {
+		rounds = 1
+	}
+	d := &Discovery{
+		Found:     map[topology.PrefixID]bool{},
+		FoundASes: map[topology.ASN]bool{},
+		ByPoP:     map[int]int{},
+	}
+	for _, p := range prefixes {
+		pop := pb.PR.HomePoP(p)
+		if pop == nil {
+			continue
+		}
+	domains:
+		for _, dom := range pb.Domains {
+			for r := 0; r < rounds; r++ {
+				at := start + simtime.Time(24*float64(r)/float64(rounds))
+				hit, err := pb.PR.ProbeCache(pop.ID, dom, p, at)
+				if err != nil {
+					return nil, err
+				}
+				d.Probes++
+				if hit {
+					d.Found[p] = true
+					if asn, ok := top.OwnerOf(p); ok {
+						d.FoundASes[asn] = true
+					}
+					break domains
+				}
+			}
+		}
+		if d.Found[p] {
+			d.ByPoP[pop.ID]++
+		}
+	}
+	return d, nil
+}
+
+// PoPCount is one bar of Figure 1a.
+type PoPCount struct {
+	PoP      *dnssim.PoP
+	Prefixes int
+}
+
+// PoPCounts returns Figure 1a's series: prefixes discovered per PoP,
+// descending.
+func (d *Discovery) PoPCounts(pr *dnssim.PublicResolver) []PoPCount {
+	var out []PoPCount
+	for _, pop := range pr.PoPs {
+		out = append(out, PoPCount{PoP: pop, Prefixes: d.ByPoP[pop.ID]})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Prefixes != out[j].Prefixes {
+			return out[i].Prefixes > out[j].Prefixes
+		}
+		return out[i].PoP.ID < out[j].PoP.ID
+	})
+	return out
+}
+
+// HitRates is the result of a hit-rate campaign (Figure 2 input).
+type HitRates struct {
+	// ByPrefix is hits/probes per prefix.
+	ByPrefix map[topology.PrefixID]float64
+	// ByAS is the total cache-hit count per AS over the campaign (the
+	// paper "recorded cache hit counts by AS"): it grows both with how
+	// often each prefix's entry is cached and with how much address
+	// space the AS's users occupy, which is what makes it track
+	// subscriber counts.
+	ByAS map[topology.ASN]float64
+	// Probes per prefix issued.
+	ProbesPerPrefix int
+}
+
+// RateFromHitRate inverts the TTL-cache occupancy law to recover the
+// underlying client query rate from an observed hit rate: occupancy under
+// Poisson arrivals is p = 1 − e^(−rate·TTL), so rate = −ln(1−p)/TTL
+// (queries per hour, with TTL in seconds). Fully saturated observations are
+// clamped to the largest rate the probe count can resolve — with n probes,
+// a hit rate of 1 only bounds the rate from below.
+func RateFromHitRate(hitRate float64, probes int, ttlSeconds int) float64 {
+	if hitRate <= 0 || ttlSeconds <= 0 {
+		return 0
+	}
+	maxResolvable := 1 - 1/(2*float64(max(probes, 1)))
+	if hitRate > maxResolvable {
+		hitRate = maxResolvable
+	}
+	ttlHours := float64(ttlSeconds) / 3600
+	return -mathLog(1-hitRate) / ttlHours
+}
+
+// MeasureHitRates probes one domain for every prefix every interval across
+// one simulated day and reports hit rates. The intuition under test
+// (§3.1.3): prefixes with more active users populate caches more often, so
+// hit rate tracks relative activity.
+func (pb *Prober) MeasureHitRates(top *topology.Topology, prefixes []topology.PrefixID, domain string, start simtime.Time, interval simtime.Time) (*HitRates, error) {
+	if interval <= 0 {
+		interval = 5 * simtime.Minute
+	}
+	hr := &HitRates{
+		ByPrefix: map[topology.PrefixID]float64{},
+		ByAS:     map[topology.ASN]float64{},
+	}
+	probesPer := int(24 / float64(interval))
+	hr.ProbesPerPrefix = probesPer
+	for _, p := range prefixes {
+		pop := pb.PR.HomePoP(p)
+		if pop == nil {
+			continue
+		}
+		hits := 0
+		for r := 0; r < probesPer; r++ {
+			at := start + simtime.Time(float64(r))*interval
+			hit, err := pb.PR.ProbeCache(pop.ID, domain, p, at)
+			if err != nil {
+				return nil, err
+			}
+			if hit {
+				hits++
+			}
+		}
+		hr.ByPrefix[p] = float64(hits) / float64(probesPer)
+		if asn, ok := top.OwnerOf(p); ok {
+			hr.ByAS[asn] += float64(hits)
+		}
+	}
+	return hr, nil
+}

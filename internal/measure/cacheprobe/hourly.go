@@ -1,0 +1,100 @@
+package cacheprobe
+
+import (
+	"itmap/internal/simtime"
+	"itmap/internal/topology"
+)
+
+// HourlyProfile is a 24-bucket activity curve recovered from cache probing
+// — the "Hourly" temporal precision Table 1 wants for relative activity.
+// Prefixes populate caches more often at their users' local evening peak,
+// so per-hour hit counts trace the diurnal demand curve.
+type HourlyProfile struct {
+	// Hits[h] counts cache hits observed during UTC hour h.
+	Hits [24]float64
+	// Probes[h] counts probes issued during UTC hour h.
+	Probes [24]int
+}
+
+// MeasureHourlyProfile probes the domain for every given prefix (typically
+// one AS's prefixes) every interval across one simulated day, bucketing
+// hits by UTC hour.
+func (pb *Prober) MeasureHourlyProfile(top *topology.Topology, prefixes []topology.PrefixID, domain string, start simtime.Time, interval simtime.Time) (*HourlyProfile, error) {
+	if interval <= 0 {
+		interval = 15 * simtime.Minute
+	}
+	hp := &HourlyProfile{}
+	for _, p := range prefixes {
+		pop := pb.PR.HomePoP(p)
+		if pop == nil {
+			continue
+		}
+		for at := start; at < start+24; at += interval {
+			hit, err := pb.PR.ProbeCache(pop.ID, domain, p, at)
+			if err != nil {
+				return nil, err
+			}
+			h := int(at.UTCHour())
+			hp.Probes[h]++
+			if hit {
+				hp.Hits[h]++
+			}
+		}
+	}
+	return hp, nil
+}
+
+// Rate returns the hit rate in UTC hour h (0 with no probes). Hours wrap.
+func (hp *HourlyProfile) Rate(h int) float64 {
+	h = ((h % 24) + 24) % 24
+	if hp.Probes[h] == 0 {
+		return 0
+	}
+	return hp.Hits[h] / float64(hp.Probes[h])
+}
+
+// PeakUTCHour returns the UTC hour with the highest hit rate, smoothing
+// over a 3-hour window to suppress per-window noise.
+func (hp *HourlyProfile) PeakUTCHour() int {
+	best, bestV := 0, -1.0
+	for h := 0; h < 24; h++ {
+		v := hp.Rate(h-1) + hp.Rate(h) + hp.Rate(h+23)
+		if v > bestV {
+			best, bestV = h, v
+		}
+	}
+	return best
+}
+
+// Swing returns (max − min)/mean over hourly rates — the diurnality of the
+// recovered curve.
+func (hp *HourlyProfile) Swing() float64 {
+	lo, hi, sum, n := 1.0, 0.0, 0.0, 0
+	for h := 0; h < 24; h++ {
+		if hp.Probes[h] == 0 {
+			continue
+		}
+		r := hp.Rate(h)
+		if r < lo {
+			lo = r
+		}
+		if r > hi {
+			hi = r
+		}
+		sum += r
+		n++
+	}
+	if n == 0 || sum == 0 {
+		return 0
+	}
+	return (hi - lo) / (sum / float64(n))
+}
+
+// HourDistance returns the circular distance between two hours (0..12).
+func HourDistance(a, b int) int {
+	d := (a - b + 48) % 24
+	if d > 12 {
+		d = 24 - d
+	}
+	return d
+}

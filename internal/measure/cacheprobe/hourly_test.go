@@ -1,0 +1,84 @@
+package cacheprobe
+
+import (
+	"math"
+	"testing"
+
+	"itmap/internal/geo"
+	"itmap/internal/simtime"
+	"itmap/internal/topology"
+	"itmap/internal/world"
+)
+
+func TestHourlyProfileRecoverssTimezone(t *testing.T) {
+	w := world.Build(world.Tiny(1))
+	domain := w.Cat.ECSDomains()[0]
+	pb := &Prober{PR: w.PR}
+	// Gather a country's small prefixes (mid-range hit probability).
+	byCountry := map[string][]topology.PrefixID{}
+	for _, ty := range []topology.ASType{topology.Enterprise, topology.Academic} {
+		for _, asn := range w.Top.ASesOfType(ty) {
+			a := w.Top.ASes[asn]
+			byCountry[a.Country] = append(byCountry[a.Country], a.Prefixes...)
+		}
+	}
+	matched, checked := 0, 0
+	for code, prefixes := range byCountry {
+		if len(prefixes) < 8 {
+			continue
+		}
+		hp, err := pb.MeasureHourlyProfile(w.Top, prefixes, domain, 0, 5*simtime.Minute)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hp.Swing() < 0.2 {
+			continue
+		}
+		c, err := geo.CountryByCode(code)
+		if err != nil {
+			continue
+		}
+		truePeak := int(math.Round(20-c.UTCOffsetHours+24)) % 24
+		checked++
+		if HourDistance(hp.PeakUTCHour(), truePeak) <= 3 {
+			matched++
+		}
+	}
+	if checked == 0 {
+		t.Skip("no diurnal country signal at tiny scale")
+	}
+	if matched == 0 {
+		t.Errorf("no country's recovered peak matched its timezone (%d checked)", checked)
+	}
+}
+
+func TestHourlyProfileRateWraps(t *testing.T) {
+	hp := &HourlyProfile{}
+	hp.Probes[23] = 10
+	hp.Hits[23] = 5
+	if hp.Rate(-1) != 0.5 {
+		t.Errorf("Rate(-1) = %f, want 0.5 (wraps to 23)", hp.Rate(-1))
+	}
+	if hp.Rate(47) != 0.5 {
+		t.Errorf("Rate(47) = %f, want 0.5", hp.Rate(47))
+	}
+}
+
+func TestHourlyProfileEmptySafe(t *testing.T) {
+	hp := &HourlyProfile{}
+	if hp.Swing() != 0 {
+		t.Error("empty profile swing should be 0")
+	}
+	_ = hp.PeakUTCHour() // must not panic
+}
+
+func TestHourDistance(t *testing.T) {
+	cases := []struct{ a, b, want int }{
+		{0, 0, 0}, {23, 0, 1}, {0, 23, 1}, {6, 18, 12}, {20, 3, 7},
+	}
+	for _, c := range cases {
+		if got := HourDistance(c.a, c.b); got != c.want {
+			t.Errorf("HourDistance(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}

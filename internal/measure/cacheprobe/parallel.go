@@ -1,0 +1,124 @@
+package cacheprobe
+
+import (
+	"runtime"
+	"sync"
+
+	"itmap/internal/simtime"
+	"itmap/internal/topology"
+)
+
+// Probe outcomes are pure functions of (PoP, domain, prefix, TTL window),
+// so sweeps parallelize with byte-identical results. A real campaign is
+// bounded by resolver rate limits instead; Workers models the prober's
+// concurrency, not the resolver's.
+
+// Workers returns the worker count for parallel sweeps (GOMAXPROCS).
+func workers() int { return runtime.GOMAXPROCS(0) }
+
+// DiscoverPrefixesParallel is DiscoverPrefixes fanned out over worker
+// goroutines. Results are identical to the serial sweep.
+func (pb *Prober) DiscoverPrefixesParallel(top *topology.Topology, prefixes []topology.PrefixID, start simtime.Time, rounds int) (*Discovery, error) {
+	if rounds < 1 {
+		rounds = 1
+	}
+	n := workers()
+	if n < 2 || len(prefixes) < 256 {
+		return pb.DiscoverPrefixes(top, prefixes, start, rounds)
+	}
+	type shard struct {
+		d   *Discovery
+		err error
+	}
+	shards := make([]shard, n)
+	var wg sync.WaitGroup
+	chunk := (len(prefixes) + n - 1) / n
+	for w := 0; w < n; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, len(prefixes))
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			d, err := pb.DiscoverPrefixes(top, prefixes[lo:hi], start, rounds)
+			shards[w] = shard{d, err}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	out := &Discovery{
+		Found:     map[topology.PrefixID]bool{},
+		FoundASes: map[topology.ASN]bool{},
+		ByPoP:     map[int]int{},
+	}
+	for _, s := range shards {
+		if s.d == nil {
+			continue
+		}
+		if s.err != nil {
+			return nil, s.err
+		}
+		for p := range s.d.Found {
+			out.Found[p] = true
+		}
+		for asn := range s.d.FoundASes {
+			out.FoundASes[asn] = true
+		}
+		for pop, c := range s.d.ByPoP {
+			out.ByPoP[pop] += c
+		}
+		out.Probes += s.d.Probes
+	}
+	return out, nil
+}
+
+// MeasureHitRatesParallel is MeasureHitRates fanned out over workers, with
+// identical results.
+func (pb *Prober) MeasureHitRatesParallel(top *topology.Topology, prefixes []topology.PrefixID, domain string, start simtime.Time, interval simtime.Time) (*HitRates, error) {
+	n := workers()
+	if n < 2 || len(prefixes) < 256 {
+		return pb.MeasureHitRates(top, prefixes, domain, start, interval)
+	}
+	type shard struct {
+		hr  *HitRates
+		err error
+	}
+	shards := make([]shard, n)
+	var wg sync.WaitGroup
+	chunk := (len(prefixes) + n - 1) / n
+	for w := 0; w < n; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, len(prefixes))
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			hr, err := pb.MeasureHitRates(top, prefixes[lo:hi], domain, start, interval)
+			shards[w] = shard{hr, err}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	out := &HitRates{
+		ByPrefix: map[topology.PrefixID]float64{},
+		ByAS:     map[topology.ASN]float64{},
+	}
+	for _, s := range shards {
+		if s.hr == nil {
+			continue
+		}
+		if s.err != nil {
+			return nil, s.err
+		}
+		out.ProbesPerPrefix = s.hr.ProbesPerPrefix
+		for p, v := range s.hr.ByPrefix {
+			out.ByPrefix[p] = v
+		}
+		for asn, v := range s.hr.ByAS {
+			out.ByAS[asn] += v
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,157 @@
+// Package catchment implements Verfploeter-style anycast catchment mapping
+// (§3.2.3): from an anycast deployment, probe out to every client network
+// and record which site the replies arrive at. The analysis reproduces the
+// paper's "anycast in context" observation: route-weighted optimality looks
+// mediocre while user-weighted optimality looks much better, because large
+// eyeballs peer directly with the anycast operator near their users.
+package catchment
+
+import (
+	"math"
+	"sort"
+
+	"itmap/internal/bgp"
+	"itmap/internal/geo"
+	"itmap/internal/services"
+	"itmap/internal/topology"
+	"itmap/internal/users"
+)
+
+// Map is a measured catchment map for one anycast owner.
+type Map struct {
+	Owner topology.ASN
+	// Landing is the site receiving each client AS's traffic.
+	Landing map[topology.ASN]*services.Site
+}
+
+// Measure builds the catchment map by probing every client AS from the
+// anycast prefix and observing the receiving site.
+func Measure(cat *services.Catalog, ap *bgp.AllPaths, owner topology.ASN, clients []topology.ASN) *Map {
+	m := &Map{Owner: owner, Landing: map[topology.ASN]*services.Site{}}
+	for _, c := range clients {
+		if site := cat.AnycastCatchment(ap, owner, c); site != nil {
+			m.Landing[c] = site
+		}
+	}
+	return m
+}
+
+// ClientResult is the per-client-AS optimality record.
+type ClientResult struct {
+	ClientAS topology.ASN
+	Users    float64
+	// LandingKm is the client-to-landing-site distance.
+	LandingKm float64
+	// ClosestKm is the client-to-closest-site distance.
+	ClosestKm float64
+	// ProximityKm is the distance from the landing site to the client's
+	// closest site (the paper's "directed within 500 km of their
+	// closest serving site").
+	ProximityKm float64
+	Optimal     bool
+}
+
+// Analysis aggregates a catchment map against ground truth geography.
+type Analysis struct {
+	Results []ClientResult
+	// RouteOptimalFrac weights each client AS equally ("31% of routes
+	// go to the closest site").
+	RouteOptimalFrac float64
+	// UserOptimalFrac weights by users ("60% of users are mapped to the
+	// optimal site").
+	UserOptimalFrac float64
+}
+
+// Analyze computes optimality under both weightings.
+func Analyze(m *Map, cat *services.Catalog, top *topology.Topology, um *users.Model) *Analysis {
+	an := &Analysis{}
+	var clients []topology.ASN
+	for c := range m.Landing {
+		clients = append(clients, c)
+	}
+	sort.Slice(clients, func(i, j int) bool { return clients[i] < clients[j] })
+	var optRoutes, totRoutes, optUsers, totUsers float64
+	for _, c := range clients {
+		landing := m.Landing[c]
+		at := top.PrimaryCity(c).Coord
+		closest := cat.NearestAnycastSiteTo(m.Owner, at)
+		if closest == nil {
+			continue
+		}
+		r := ClientResult{
+			ClientAS:    c,
+			Users:       um.ASUsers(c),
+			LandingKm:   geo.DistanceKm(at, landing.City.Coord),
+			ClosestKm:   geo.DistanceKm(at, closest.City.Coord),
+			ProximityKm: geo.DistanceKm(landing.City.Coord, closest.City.Coord),
+		}
+		r.Optimal = r.LandingKm <= r.ClosestKm+1
+		an.Results = append(an.Results, r)
+		totRoutes++
+		totUsers += r.Users
+		if r.Optimal {
+			optRoutes++
+			optUsers += r.Users
+		}
+	}
+	if totRoutes > 0 {
+		an.RouteOptimalFrac = optRoutes / totRoutes
+	}
+	if totUsers > 0 {
+		an.UserOptimalFrac = optUsers / totUsers
+	}
+	return an
+}
+
+// UserFracWithinKm returns the user-weighted fraction of clients whose
+// landing site is within km of their closest site.
+func (an *Analysis) UserFracWithinKm(km float64) float64 {
+	var within, total float64
+	for _, r := range an.Results {
+		total += r.Users
+		if r.ProximityKm <= km {
+			within += r.Users
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return within / total
+}
+
+// RouteFracWithinKm is UserFracWithinKm with every client AS weighted
+// equally.
+func (an *Analysis) RouteFracWithinKm(km float64) float64 {
+	var within, total float64
+	for _, r := range an.Results {
+		total++
+		if r.ProximityKm <= km {
+			within++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return within / total
+}
+
+// MedianInflationKm returns the user-weighted median of (landing − closest)
+// distance inflation.
+func (an *Analysis) MedianInflationKm() float64 {
+	type wv struct{ v, w float64 }
+	var vals []wv
+	var total float64
+	for _, r := range an.Results {
+		vals = append(vals, wv{math.Max(0, r.LandingKm-r.ClosestKm), r.Users})
+		total += r.Users
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i].v < vals[j].v })
+	cum := 0.0
+	for _, x := range vals {
+		cum += x.w
+		if cum >= total/2 {
+			return x.v
+		}
+	}
+	return 0
+}

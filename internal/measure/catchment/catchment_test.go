@@ -1,0 +1,111 @@
+package catchment
+
+import (
+	"testing"
+
+	"itmap/internal/services"
+	"itmap/internal/topology"
+	"itmap/internal/world"
+)
+
+func anycastOwner(t testing.TB, w *world.World) topology.ASN {
+	t.Helper()
+	for _, s := range w.Cat.Services {
+		if s.Kind == services.Anycast {
+			return s.Owner
+		}
+	}
+	t.Skip("no anycast service in this seed")
+	return 0
+}
+
+func clientASes(w *world.World) []topology.ASN {
+	var out []topology.ASN
+	out = append(out, w.Top.ASesOfType(topology.Eyeball)...)
+	out = append(out, w.Top.ASesOfType(topology.Enterprise)...)
+	return out
+}
+
+func TestMeasureCoversClients(t *testing.T) {
+	w := world.Build(world.Small(1))
+	owner := anycastOwner(t, w)
+	clients := clientASes(w)
+	m := Measure(w.Cat, w.Paths, owner, clients)
+	if len(m.Landing) != len(clients) {
+		t.Errorf("catchment covers %d of %d clients", len(m.Landing), len(clients))
+	}
+	for c, site := range m.Landing {
+		if site.OffNet() {
+			t.Fatalf("client %d lands at an off-net", c)
+		}
+		if site.Owner != owner {
+			t.Fatalf("client %d lands at foreign site", c)
+		}
+	}
+}
+
+func TestAnalyzeWeightings(t *testing.T) {
+	w := world.Build(world.Small(2))
+	owner := anycastOwner(t, w)
+	m := Measure(w.Cat, w.Paths, owner, clientASes(w))
+	an := Analyze(m, w.Cat, w.Top, w.Users)
+	if len(an.Results) == 0 {
+		t.Fatal("no results")
+	}
+	if an.RouteOptimalFrac <= 0 || an.RouteOptimalFrac > 1 {
+		t.Fatalf("route-optimal frac %f", an.RouteOptimalFrac)
+	}
+	// The paper's core observation: users do better than routes, because
+	// large eyeballs peer directly near their users.
+	if an.UserOptimalFrac <= an.RouteOptimalFrac {
+		t.Errorf("user-weighted optimality %.2f <= route-weighted %.2f; flattening signal missing",
+			an.UserOptimalFrac, an.RouteOptimalFrac)
+	}
+	// Most users land within 500 km of their closest site.
+	if f := an.UserFracWithinKm(500); f < 0.6 {
+		t.Errorf("only %.0f%% of users within 500 km (paper: ~80%%)", f*100)
+	}
+	// Monotonicity of the distance CDF.
+	if an.UserFracWithinKm(100) > an.UserFracWithinKm(1000) {
+		t.Error("distance CDF not monotone")
+	}
+	if an.RouteFracWithinKm(1e9) < 0.999 {
+		t.Error("route CDF does not reach 1")
+	}
+	if an.MedianInflationKm() < 0 {
+		t.Error("negative median inflation")
+	}
+}
+
+func TestDirectPeersLandOptimally(t *testing.T) {
+	w := world.Build(world.Small(3))
+	owner := anycastOwner(t, w)
+	m := Measure(w.Cat, w.Paths, owner, clientASes(w))
+	an := Analyze(m, w.Cat, w.Top, w.Users)
+	byAS := map[topology.ASN]ClientResult{}
+	for _, r := range an.Results {
+		byAS[r.ClientAS] = r
+	}
+	// Clients peering directly with the owner at their home facility
+	// should mostly be optimal (ingress near the client).
+	direct, directOpt := 0, 0
+	for _, nb := range w.Top.ASes[owner].Neighbors {
+		if w.Top.ASes[nb.ASN].Type != topology.Eyeball {
+			continue
+		}
+		r, ok := byAS[nb.ASN]
+		if !ok {
+			continue
+		}
+		direct++
+		if r.Optimal {
+			directOpt++
+		}
+	}
+	if direct == 0 {
+		t.Skip("no direct eyeball peers")
+	}
+	if frac := float64(directOpt) / float64(direct); frac < 0.5 {
+		t.Errorf("only %.0f%% of direct peers land optimally", frac*100)
+	}
+}

@@ -1,0 +1,108 @@
+package rootlogs
+
+import (
+	"testing"
+
+	"itmap/internal/topology"
+	"itmap/internal/world"
+)
+
+func TestCrawlIdentifiesEyeballASes(t *testing.T) {
+	w := world.Build(world.Tiny(1))
+	c := CrawlDay(w.Roots, w.Traffic, 0)
+	if c.LettersUsed == 0 {
+		t.Fatal("no usable letters")
+	}
+	if c.LettersUsed == 13 {
+		t.Error("expected some anonymized letters")
+	}
+	if c.HiddenQueries <= 0 {
+		t.Error("anonymized letters should hide some queries")
+	}
+	clients := c.ClientASes(w.PR.Owner)
+	if len(clients) == 0 {
+		t.Fatal("no client ASes identified")
+	}
+	if _, has := clients[w.PR.Owner]; has {
+		t.Error("public resolver owner not excluded")
+	}
+	// Every identified AS either hosts users or is a transit provider
+	// whose resolver serves outsourcing customers — the attribution
+	// error the clients-follow-their-resolver assumption makes.
+	sawOutsourced := false
+	for asn := range clients {
+		if w.Users.ASUsers(asn) > 0 {
+			continue
+		}
+		if w.Top.ASes[asn].Type != topology.Transit {
+			t.Errorf("AS %d (%v) in crawl hosts no users and is no resolver host",
+				asn, w.Top.ASes[asn].Type)
+		}
+		sawOutsourced = true
+	}
+	if !sawOutsourced {
+		t.Error("expected some outsourced-resolver attribution to transit")
+	}
+	// Eyeballs running their own resolver appear; outsourcing ones are
+	// attributed elsewhere.
+	for _, asn := range w.Top.ASesOfType(topology.Eyeball) {
+		_, ok := clients[asn]
+		if w.Traffic.OutsourcesResolver(asn) {
+			continue
+		}
+		if !ok {
+			t.Errorf("self-resolving eyeball %d missing from crawl", asn)
+		}
+	}
+}
+
+func TestCrawlActivityProportionalToUsers(t *testing.T) {
+	w := world.Build(world.Tiny(2))
+	c := CrawlDay(w.Roots, w.Traffic, 0)
+	clients := c.ClientASes(w.PR.Owner)
+	// Bigger eyeballs produce more Chromium queries (within adoption
+	// skew): check the extremes.
+	var biggest, smallest topology.ASN
+	var bigU, smallU float64 = 0, 1e18
+	for _, asn := range w.Top.ASesOfType(topology.Eyeball) {
+		u := w.Users.ASUsers(asn)
+		if u > bigU {
+			bigU, biggest = u, asn
+		}
+		if u < smallU {
+			smallU, smallest = u, asn
+		}
+	}
+	if clients[biggest] <= clients[smallest] {
+		t.Errorf("activity(big=%f) <= activity(small=%f)", clients[biggest], clients[smallest])
+	}
+}
+
+func TestFullyAnonymizedRootsUseless(t *testing.T) {
+	w := world.Build(world.Tiny(3))
+	allAnon := w.Roots
+	for i := range allAnon.Letters {
+		allAnon.Letters[i].Anonymized = true
+	}
+	c := CrawlDay(allAnon, w.Traffic, 0)
+	if c.LettersUsed != 0 || len(c.ActivityByResolverAS) != 0 {
+		t.Error("fully anonymized roots should yield nothing")
+	}
+	if c.HiddenQueries <= 0 {
+		t.Error("hidden query count missing")
+	}
+}
+
+func TestCrawlStableAcrossLetters(t *testing.T) {
+	// Using fewer letters scales the totals but not the AS set.
+	w := world.Build(world.Tiny(4))
+	cAll := CrawlDay(w.Roots, w.Traffic, 0)
+	for i := range w.Roots.Letters {
+		w.Roots.Letters[i].Anonymized = i != 0 // keep only A
+	}
+	cOne := CrawlDay(w.Roots, w.Traffic, 0)
+	if len(cOne.ActivityByResolverAS) != len(cAll.ActivityByResolverAS) {
+		t.Errorf("AS set changed with letter count: %d vs %d",
+			len(cOne.ActivityByResolverAS), len(cAll.ActivityByResolverAS))
+	}
+}

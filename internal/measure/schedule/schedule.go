@@ -1,0 +1,91 @@
+// Package schedule plans measurement campaigns under real-world operational
+// constraints. The paper's techniques all face rate limits — public
+// resolvers throttle per-source queries, routers rate-limit ICMP — and a
+// campaign is only as good as its ability to cover the target set within
+// the temporal precision Table 1 asks for. The planner answers: with this
+// probing budget, how long does a sweep take, does it fit in the refresh
+// window, and if not, what has to give (probers, domains, or coverage)?
+package schedule
+
+import (
+	"fmt"
+	"math"
+)
+
+// Campaign describes a sweep to plan.
+type Campaign struct {
+	// Targets is the number of (prefix, domain) probe pairs per round.
+	Targets int
+	// Rounds is how many times per window each pair is probed.
+	Rounds int
+	// QPSPerProber is the per-source query budget the measured service
+	// tolerates (public resolvers throttle single sources hard).
+	QPSPerProber float64
+	// Probers is the number of distinct vantage sources available.
+	Probers int
+	// WindowHours is the refresh window the sweep must fit in (Table 1's
+	// temporal precision: 24 for daily, 1 for hourly).
+	WindowHours float64
+}
+
+// Plan is the planner's verdict.
+type Plan struct {
+	TotalProbes int
+	SweepHours  float64
+	Feasible    bool
+	// UtilizedQPS is the aggregate probing rate used.
+	UtilizedQPS float64
+	// MaxTargetsInWindow is the largest target count that would fit.
+	MaxTargetsInWindow int
+	// ProbersNeeded is the minimum prober count that makes the campaign
+	// feasible at the same QPS budget.
+	ProbersNeeded int
+}
+
+// Validate reports configuration errors.
+func (c Campaign) Validate() error {
+	switch {
+	case c.Targets <= 0:
+		return fmt.Errorf("schedule: targets must be positive, got %d", c.Targets)
+	case c.Rounds <= 0:
+		return fmt.Errorf("schedule: rounds must be positive, got %d", c.Rounds)
+	case c.QPSPerProber <= 0:
+		return fmt.Errorf("schedule: per-prober QPS must be positive, got %f", c.QPSPerProber)
+	case c.Probers <= 0:
+		return fmt.Errorf("schedule: probers must be positive, got %d", c.Probers)
+	case c.WindowHours <= 0:
+		return fmt.Errorf("schedule: window must be positive, got %f", c.WindowHours)
+	default:
+		return nil
+	}
+}
+
+// Fit plans the campaign.
+func (c Campaign) Fit() (Plan, error) {
+	if err := c.Validate(); err != nil {
+		return Plan{}, err
+	}
+	var p Plan
+	p.TotalProbes = c.Targets * c.Rounds
+	p.UtilizedQPS = c.QPSPerProber * float64(c.Probers)
+	p.SweepHours = float64(p.TotalProbes) / p.UtilizedQPS / 3600
+	p.Feasible = p.SweepHours <= c.WindowHours
+	p.MaxTargetsInWindow = int(c.WindowHours * 3600 * p.UtilizedQPS / float64(c.Rounds))
+	p.ProbersNeeded = int(math.Ceil(float64(p.TotalProbes) / (c.WindowHours * 3600 * c.QPSPerProber)))
+	return p, nil
+}
+
+// Interleave returns the per-pair probe interval (seconds) that spreads the
+// sweep evenly over the window — probing in a burst both trips rate limits
+// and samples every cache at the same diurnal phase, biasing hit rates.
+func (c Campaign) Interleave() (float64, error) {
+	p, err := c.Fit()
+	if err != nil {
+		return 0, err
+	}
+	hours := math.Min(p.SweepHours, c.WindowHours)
+	if p.TotalProbes == 0 {
+		return 0, nil
+	}
+	return hours * 3600 / float64(p.TotalProbes), nil
+}

@@ -1,0 +1,118 @@
+// Package trafest implements the baseline the paper contrasts itself with:
+// Sanchez et al.'s "inter-domain traffic estimation for the outsider" [53],
+// which estimates relative link activity from how often traceroutes cross
+// each inter-domain link. The paper's critique — "the approach does not
+// apply to the vast majority of traffic on today's Internet that crosses
+// private interconnects or flows from caches" — becomes measurable here:
+// the evaluation reports how much ground-truth traffic flows over links the
+// method never sees, and how much never crosses an inter-AS link at all
+// (off-net serving).
+package trafest
+
+import (
+	"itmap/internal/bgp"
+	"itmap/internal/measure/tracer"
+	"itmap/internal/stats"
+	"itmap/internal/topology"
+	"itmap/internal/traffic"
+)
+
+// Estimate is a per-link relative-activity estimate from traceroute
+// crossings.
+type Estimate struct {
+	// Crossings counts how many measured paths crossed each link.
+	Crossings map[topology.LinkKey]float64
+	// Paths is the number of traceroutes used.
+	Paths int
+}
+
+// EstimateLinkActivity runs traceroutes from every vantage point to every
+// target and counts link crossings — the baseline's core signal.
+func EstimateLinkActivity(ap *bgp.AllPaths, vps []tracer.VantagePoint, targets []topology.ASN) *Estimate {
+	e := &Estimate{Crossings: map[topology.LinkKey]float64{}}
+	for _, vp := range vps {
+		for _, dst := range targets {
+			path := tracer.Traceroute(ap, vp.AS, dst)
+			if path == nil {
+				continue
+			}
+			e.Paths++
+			for i := 0; i+1 < len(path); i++ {
+				e.Crossings[topology.MakeLinkKey(path[i], path[i+1])]++
+			}
+		}
+	}
+	return e
+}
+
+// Eval scores the baseline against ground truth.
+type Eval struct {
+	// RankCorrObservedLinks is the Spearman correlation between crossing
+	// counts and true loads, over links the method observed at all (its
+	// best case).
+	RankCorrObservedLinks float64
+	// TrafficOnUnseenLinks is the share of link-crossing traffic on
+	// links with zero traceroute coverage.
+	TrafficOnUnseenLinks float64
+	// PNITrafficUnseen is the share of private-peering traffic the
+	// method never observes.
+	PNITrafficUnseen float64
+	// OffNetShare is the share of total bytes served inside the client's
+	// own network — traffic that crosses no inter-AS link and is
+	// invisible to any path-crossing method by construction.
+	OffNetShare float64
+}
+
+// Evaluate compares crossing counts with the ground-truth matrix.
+func Evaluate(top *topology.Topology, mx *traffic.Matrix, est *Estimate) Eval {
+	var ev Eval
+	var xs, ys []float64
+	var seenLoad, unseenLoad, pniLoad, pniUnseen float64
+	for lk, load := range mx.LinkLoad {
+		cross := est.Crossings[lk]
+		if cross > 0 {
+			xs = append(xs, cross)
+			ys = append(ys, load)
+			seenLoad += load
+		} else {
+			unseenLoad += load
+		}
+		if kindOf(top, lk) == topology.PrivatePeering {
+			pniLoad += load
+			if cross == 0 {
+				pniUnseen += load
+			}
+		}
+	}
+	ev.RankCorrObservedLinks = stats.Spearman(xs, ys)
+	if total := seenLoad + unseenLoad; total > 0 {
+		ev.TrafficOnUnseenLinks = unseenLoad / total
+	}
+	if pniLoad > 0 {
+		ev.PNITrafficUnseen = pniUnseen / pniLoad
+	}
+	// Off-net share: flows with zero hops never touch a link.
+	var offNet float64
+	for _, f := range mx.Flows {
+		if f.Hops == 0 {
+			offNet += f.Bytes
+		}
+	}
+	if mx.TotalBytes > 0 {
+		ev.OffNetShare = offNet / mx.TotalBytes
+	}
+	return ev
+}
+
+func kindOf(top *topology.Topology, lk topology.LinkKey) topology.LinkKind {
+	a := top.ASes[lk.Lo]
+	if a == nil {
+		return topology.TransitLink
+	}
+	for _, nb := range a.Neighbors {
+		if nb.ASN == lk.Hi {
+			return nb.Kind
+		}
+	}
+	return topology.TransitLink
+}

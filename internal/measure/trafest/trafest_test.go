@@ -1,0 +1,82 @@
+package trafest
+
+import (
+	"testing"
+
+	"itmap/internal/measure/tracer"
+	"itmap/internal/randx"
+	"itmap/internal/topology"
+	"itmap/internal/world"
+)
+
+func setup(t testing.TB, seed int64) (*world.World, *Estimate) {
+	t.Helper()
+	w := world.Build(world.Tiny(seed))
+	vps := tracer.AtlasVPs(w.Top, randx.New(seed))
+	var targets []topology.ASN
+	targets = append(targets, w.Top.ASesOfType(topology.Hypergiant)...)
+	targets = append(targets, w.Top.ASesOfType(topology.Cloud)...)
+	targets = append(targets, w.Top.ASesOfType(topology.Tier1)...)
+	return w, EstimateLinkActivity(w.Paths, vps, targets)
+}
+
+func TestCrossingsOnRealLinks(t *testing.T) {
+	w, est := setup(t, 1)
+	if est.Paths == 0 || len(est.Crossings) == 0 {
+		t.Fatal("no paths measured")
+	}
+	for lk, n := range est.Crossings {
+		if n <= 0 {
+			t.Fatalf("non-positive crossing count on %v", lk)
+		}
+		if !w.Top.HasLink(lk.Lo, lk.Hi) {
+			t.Fatalf("crossing recorded on nonexistent link %v", lk)
+		}
+	}
+}
+
+func TestBaselineMissesMostTraffic(t *testing.T) {
+	w, est := setup(t, 2)
+	mx := w.Traffic.BuildMatrix()
+	ev := Evaluate(w.Top, mx, est)
+
+	// The paper's critique, quantified: a large share of traffic either
+	// crosses links the traceroutes never see, or never crosses a link
+	// at all (off-net caches).
+	if ev.OffNetShare < 0.2 {
+		t.Errorf("off-net share %.2f; expected substantial in-network serving", ev.OffNetShare)
+	}
+	if ev.TrafficOnUnseenLinks < 0.1 {
+		t.Errorf("traffic on unseen links %.2f; baseline should have blind spots", ev.TrafficOnUnseenLinks)
+	}
+	if ev.PNITrafficUnseen < 0.1 {
+		t.Errorf("PNI traffic unseen %.2f; private interconnects should be mostly invisible", ev.PNITrafficUnseen)
+	}
+	// Where it does see links, the signal is at least weakly informative
+	// (the baseline is not a strawman).
+	if ev.RankCorrObservedLinks < 0 {
+		t.Errorf("crossing counts anti-correlate with load: %.2f", ev.RankCorrObservedLinks)
+	}
+}
+
+func TestMoreVantagePointsSeeMore(t *testing.T) {
+	w := world.Build(world.Tiny(3))
+	targets := w.Top.ASesOfType(topology.Hypergiant)
+	few := EstimateLinkActivity(w.Paths, tracer.AtlasVPs(w.Top, randx.New(1))[:2], targets)
+	many := EstimateLinkActivity(w.Paths, tracer.AtlasVPs(w.Top, randx.New(1)), targets)
+	if len(many.Crossings) < len(few.Crossings) {
+		t.Errorf("more VPs observed fewer links: %d vs %d", len(many.Crossings), len(few.Crossings))
+	}
+}
+
+func TestEvaluateEmptyEstimate(t *testing.T) {
+	w := world.Build(world.Tiny(4))
+	mx := w.Traffic.BuildMatrix()
+	ev := Evaluate(w.Top, mx, &Estimate{Crossings: map[topology.LinkKey]float64{}})
+	if ev.TrafficOnUnseenLinks != 1 {
+		t.Errorf("empty estimate should miss all link traffic, got %.2f", ev.TrafficOnUnseenLinks)
+	}
+	if ev.RankCorrObservedLinks != 0 {
+		t.Errorf("no observed links should give zero correlation")
+	}
+}

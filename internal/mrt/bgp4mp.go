@@ -1,0 +1,224 @@
+package mrt
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net/netip"
+)
+
+// BGP4MP support: the MRT encapsulation RouteViews/RIS use for live BGP
+// UPDATE streams (RFC 6396 §4.4, BGP4MP_MESSAGE_AS4 with RFC 4271 UPDATE
+// bodies). Table dumps say where routes are; update streams say where they
+// move — the post-event signal an outage analysis consumes.
+
+const (
+	typeBGP4MP          uint16 = 16
+	subtypeBGP4MPMsgAS4 uint16 = 4
+	bgpMsgUpdate        byte   = 2
+	bgpAttrOrigin       byte   = 1
+	bgpAttrNextHop      byte   = 3
+	bgpOriginIGP        byte   = 0
+)
+
+// Update is one BGP UPDATE observed from a collector peer.
+type Update struct {
+	PeerASN  uint32
+	PeerAddr netip.Addr
+	// Withdrawn prefixes lost their route at this peer.
+	Withdrawn []netip.Prefix
+	// Announced prefixes are reachable via ASPath.
+	Announced []netip.Prefix
+	// ASPath is the announcement's path (empty for pure withdrawals).
+	ASPath []uint32
+}
+
+var bgpMarker = [16]byte{
+	0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+	0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+}
+
+// WriteUpdate appends one BGP4MP_MESSAGE_AS4 record carrying an UPDATE.
+func (wr *Writer) WriteUpdate(u Update) error {
+	if !u.PeerAddr.Is4() {
+		return fmt.Errorf("mrt: peer address %v is not IPv4", u.PeerAddr)
+	}
+	bgp, err := encodeBGPUpdate(u)
+	if err != nil {
+		return err
+	}
+	body := make([]byte, 0, 20+len(bgp))
+	body = binary.BigEndian.AppendUint32(body, u.PeerASN)
+	body = binary.BigEndian.AppendUint32(body, 0) // local AS (collector)
+	body = binary.BigEndian.AppendUint16(body, 0) // interface index
+	body = binary.BigEndian.AppendUint16(body, 1) // AFI IPv4
+	a4 := u.PeerAddr.As4()
+	body = append(body, a4[:]...)
+	body = append(body, 0, 0, 0, 0) // local address (collector)
+	body = append(body, bgp...)
+	return wr.record2(typeBGP4MP, subtypeBGP4MPMsgAS4, body)
+}
+
+// record2 is record with an explicit MRT type.
+func (wr *Writer) record2(typ, subtype uint16, body []byte) error {
+	var hdr [12]byte
+	binary.BigEndian.PutUint32(hdr[0:], wr.timestamp)
+	binary.BigEndian.PutUint16(hdr[4:], typ)
+	binary.BigEndian.PutUint16(hdr[6:], subtype)
+	binary.BigEndian.PutUint32(hdr[8:], uint32(len(body)))
+	if _, err := wr.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := wr.w.Write(body)
+	return err
+}
+
+func appendPrefixes(b []byte, ps []netip.Prefix) ([]byte, error) {
+	for _, p := range ps {
+		if !p.Addr().Is4() {
+			return nil, fmt.Errorf("mrt: prefix %v is not IPv4", p)
+		}
+		bits := p.Bits()
+		b = append(b, byte(bits))
+		a4 := p.Addr().As4()
+		b = append(b, a4[:(bits+7)/8]...)
+	}
+	return b, nil
+}
+
+func encodeBGPUpdate(u Update) ([]byte, error) {
+	withdrawn, err := appendPrefixes(nil, u.Withdrawn)
+	if err != nil {
+		return nil, err
+	}
+	var attrs []byte
+	if len(u.Announced) > 0 {
+		// ORIGIN, AS_PATH, NEXT_HOP — the mandatory attributes.
+		attrs = append(attrs, bgpAttrFlagTrans, bgpAttrOrigin, 1, bgpOriginIGP)
+		attrs = append(attrs, encodeASPath(u.ASPath)...)
+		attrs = append(attrs, bgpAttrFlagTrans, bgpAttrNextHop, 4)
+		a4 := u.PeerAddr.As4()
+		attrs = append(attrs, a4[:]...)
+	}
+	nlri, err := appendPrefixes(nil, u.Announced)
+	if err != nil {
+		return nil, err
+	}
+	bodyLen := 2 + len(withdrawn) + 2 + len(attrs) + len(nlri)
+	msg := make([]byte, 0, 19+bodyLen)
+	msg = append(msg, bgpMarker[:]...)
+	msg = binary.BigEndian.AppendUint16(msg, uint16(19+bodyLen))
+	msg = append(msg, bgpMsgUpdate)
+	msg = binary.BigEndian.AppendUint16(msg, uint16(len(withdrawn)))
+	msg = append(msg, withdrawn...)
+	msg = binary.BigEndian.AppendUint16(msg, uint16(len(attrs)))
+	msg = append(msg, attrs...)
+	msg = append(msg, nlri...)
+	return msg, nil
+}
+
+// ReadUpdates parses a BGP4MP stream (records of other types are rejected,
+// matching this package's explicit-scope policy).
+func ReadUpdates(r io.Reader) ([]Update, error) {
+	var out []Update
+	for {
+		var hdr [12]byte
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			if errors.Is(err, io.EOF) {
+				return out, nil
+			}
+			return nil, ErrTruncated
+		}
+		typ := binary.BigEndian.Uint16(hdr[4:])
+		subtype := binary.BigEndian.Uint16(hdr[6:])
+		length := binary.BigEndian.Uint32(hdr[8:])
+		if typ != typeBGP4MP || subtype != subtypeBGP4MPMsgAS4 {
+			return nil, fmt.Errorf("%w: type %d subtype %d", ErrUnsupported, typ, subtype)
+		}
+		if length > 1<<24 {
+			return nil, fmt.Errorf("%w: record length %d", ErrUnsupported, length)
+		}
+		body := make([]byte, length)
+		if _, err := io.ReadFull(r, body); err != nil {
+			return nil, ErrTruncated
+		}
+		u, err := parseBGP4MP(body)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, u)
+	}
+}
+
+func parseBGP4MP(b []byte) (Update, error) {
+	var u Update
+	if len(b) < 20 {
+		return u, ErrTruncated
+	}
+	u.PeerASN = binary.BigEndian.Uint32(b)
+	afi := binary.BigEndian.Uint16(b[10:])
+	if afi != 1 {
+		return u, fmt.Errorf("%w: AFI %d", ErrUnsupported, afi)
+	}
+	var a4 [4]byte
+	copy(a4[:], b[12:16])
+	u.PeerAddr = netip.AddrFrom4(a4)
+	msg := b[20:]
+	if len(msg) < 19 || msg[18] != bgpMsgUpdate {
+		return u, fmt.Errorf("%w: not a BGP UPDATE", ErrUnsupported)
+	}
+	msgLen := int(binary.BigEndian.Uint16(msg[16:]))
+	if msgLen != len(msg) {
+		return u, ErrTruncated
+	}
+	body := msg[19:]
+	if len(body) < 2 {
+		return u, ErrTruncated
+	}
+	wlen := int(binary.BigEndian.Uint16(body))
+	if len(body) < 2+wlen+2 {
+		return u, ErrTruncated
+	}
+	var err error
+	u.Withdrawn, err = parsePrefixList(body[2 : 2+wlen])
+	if err != nil {
+		return u, err
+	}
+	alen := int(binary.BigEndian.Uint16(body[2+wlen:]))
+	attrStart := 2 + wlen + 2
+	if len(body) < attrStart+alen {
+		return u, ErrTruncated
+	}
+	u.ASPath, err = parseASPath(body[attrStart : attrStart+alen])
+	if err != nil {
+		return u, err
+	}
+	u.Announced, err = parsePrefixList(body[attrStart+alen:])
+	if err != nil {
+		return u, err
+	}
+	return u, nil
+}
+
+func parsePrefixList(b []byte) ([]netip.Prefix, error) {
+	var out []netip.Prefix
+	off := 0
+	for off < len(b) {
+		bits := int(b[off])
+		off++
+		nBytes := (bits + 7) / 8
+		if bits > 32 || off+nBytes > len(b) {
+			return nil, ErrTruncated
+		}
+		var a4 [4]byte
+		copy(a4[:], b[off:off+nBytes])
+		p, err := netip.AddrFrom4(a4).Prefix(bits)
+		if err != nil {
+			return nil, fmt.Errorf("mrt: bad prefix: %w", err)
+		}
+		out = append(out, p)
+		off += nBytes
+	}
+	return out, nil
+}

@@ -1,0 +1,38 @@
+package mrt
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+)
+
+func mustAddr(s string) netip.Addr     { return netip.MustParseAddr(s) }
+func mustPrefix(s string) netip.Prefix { return netip.MustParsePrefix(s) }
+
+// FuzzRead exercises the MRT reader with arbitrary bytes: no panics, and
+// accepted dumps must be internally consistent (entries reference known
+// peers).
+func FuzzRead(f *testing.F) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 1)
+	_ = w.WritePeerIndexTable(1, "v", []Peer{{ASN: 65001, Addr: mustAddr("192.0.2.1")}})
+	_ = w.WriteRIB(mustPrefix("198.51.100.0/24"), []RIBEntry{{PeerIndex: 0, ASPath: []uint32{65001, 64500}}})
+	_ = w.Flush()
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 0, 13, 0, 1, 0, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := Read(bytes.NewReader(data))
+		if err != nil || d == nil {
+			return
+		}
+		for _, rib := range d.RIBs {
+			for _, e := range rib.Entries {
+				if int(e.PeerIndex) >= len(d.Peers) {
+					t.Fatalf("accepted dump with dangling peer index %d", e.PeerIndex)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,330 @@
+// Package mrt reads and writes the subset of the MRT format (RFC 6396)
+// that public route collectors publish: TABLE_DUMP_V2 PEER_INDEX_TABLE and
+// RIB_IPV4_UNICAST records with AS_PATH attributes. RouteViews and RIPE RIS
+// dumps are exactly these bytes; the simulator's collectors export them so
+// the "public topology" used by §3.3 is derived from the same artifact real
+// researchers download.
+package mrt
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net/netip"
+)
+
+// MRT constants for the records we handle.
+const (
+	typeTableDumpV2 uint16 = 13
+
+	subtypePeerIndexTable uint16 = 1
+	subtypeRIBIPv4Unicast uint16 = 2
+
+	bgpAttrASPath     = 2
+	bgpAttrFlagTrans  = 0x40
+	asPathSegSequence = 2
+)
+
+// Errors returned by the reader.
+var (
+	ErrTruncated   = errors.New("mrt: truncated record")
+	ErrUnsupported = errors.New("mrt: unsupported record")
+)
+
+// Peer identifies one collector peer (vantage point).
+type Peer struct {
+	ASN  uint32
+	Addr netip.Addr
+}
+
+// RIBEntry is one peer's route to a prefix.
+type RIBEntry struct {
+	PeerIndex uint16
+	// ASPath is the AS_PATH as a flat AS_SEQUENCE (collector-peer
+	// first, origin last).
+	ASPath []uint32
+	// OriginatedAt is the route's origination timestamp.
+	OriginatedAt uint32
+}
+
+// RIB is one prefix's RIB_IPV4_UNICAST record.
+type RIB struct {
+	Sequence uint32
+	Prefix   netip.Prefix
+	Entries  []RIBEntry
+}
+
+// Dump is a complete parsed table dump.
+type Dump struct {
+	CollectorID uint32
+	ViewName    string
+	Peers       []Peer
+	RIBs        []RIB
+}
+
+// Writer emits a TABLE_DUMP_V2 stream.
+type Writer struct {
+	w         *bufio.Writer
+	timestamp uint32
+	seq       uint32
+	wrotePIT  bool
+	nPeers    int
+}
+
+// NewWriter wraps w. The timestamp stamps every record header.
+func NewWriter(w io.Writer, timestamp uint32) *Writer {
+	return &Writer{w: bufio.NewWriter(w), timestamp: timestamp}
+}
+
+func (wr *Writer) record(subtype uint16, body []byte) error {
+	var hdr [12]byte
+	binary.BigEndian.PutUint32(hdr[0:], wr.timestamp)
+	binary.BigEndian.PutUint16(hdr[4:], typeTableDumpV2)
+	binary.BigEndian.PutUint16(hdr[6:], subtype)
+	binary.BigEndian.PutUint32(hdr[8:], uint32(len(body)))
+	if _, err := wr.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := wr.w.Write(body)
+	return err
+}
+
+// WritePeerIndexTable emits the peer table; it must precede RIB records.
+func (wr *Writer) WritePeerIndexTable(collectorID uint32, viewName string, peers []Peer) error {
+	if wr.wrotePIT {
+		return errors.New("mrt: peer index table already written")
+	}
+	body := make([]byte, 0, 8+len(viewName)+len(peers)*13)
+	body = binary.BigEndian.AppendUint32(body, collectorID)
+	body = binary.BigEndian.AppendUint16(body, uint16(len(viewName)))
+	body = append(body, viewName...)
+	body = binary.BigEndian.AppendUint16(body, uint16(len(peers)))
+	for _, p := range peers {
+		if !p.Addr.Is4() {
+			return fmt.Errorf("mrt: peer address %v is not IPv4", p.Addr)
+		}
+		// Peer type 0x02: AS number is 32 bits, address IPv4.
+		body = append(body, 0x02)
+		body = binary.BigEndian.AppendUint32(body, 0) // BGP ID (unused)
+		a4 := p.Addr.As4()
+		body = append(body, a4[:]...)
+		body = binary.BigEndian.AppendUint32(body, p.ASN)
+	}
+	wr.wrotePIT = true
+	wr.nPeers = len(peers)
+	return wr.record(subtypePeerIndexTable, body)
+}
+
+// WriteRIB emits one prefix's routes.
+func (wr *Writer) WriteRIB(prefix netip.Prefix, entries []RIBEntry) error {
+	if !wr.wrotePIT {
+		return errors.New("mrt: peer index table not written")
+	}
+	if !prefix.Addr().Is4() {
+		return fmt.Errorf("mrt: prefix %v is not IPv4", prefix)
+	}
+	body := make([]byte, 0, 64)
+	body = binary.BigEndian.AppendUint32(body, wr.seq)
+	wr.seq++
+	bits := prefix.Bits()
+	body = append(body, byte(bits))
+	a4 := prefix.Addr().As4()
+	body = append(body, a4[:(bits+7)/8]...)
+	body = binary.BigEndian.AppendUint16(body, uint16(len(entries)))
+	for _, e := range entries {
+		if int(e.PeerIndex) >= wr.nPeers {
+			return fmt.Errorf("mrt: peer index %d out of range", e.PeerIndex)
+		}
+		body = binary.BigEndian.AppendUint16(body, e.PeerIndex)
+		body = binary.BigEndian.AppendUint32(body, e.OriginatedAt)
+		attr := encodeASPath(e.ASPath)
+		body = binary.BigEndian.AppendUint16(body, uint16(len(attr)))
+		body = append(body, attr...)
+	}
+	return wr.record(subtypeRIBIPv4Unicast, body)
+}
+
+// Flush completes the dump.
+func (wr *Writer) Flush() error { return wr.w.Flush() }
+
+func encodeASPath(path []uint32) []byte {
+	// One transitive AS_PATH attribute with a single AS_SEQUENCE.
+	segLen := 2 + 4*len(path)
+	attr := make([]byte, 0, 3+segLen)
+	attr = append(attr, bgpAttrFlagTrans, bgpAttrASPath, byte(segLen))
+	attr = append(attr, asPathSegSequence, byte(len(path)))
+	for _, asn := range path {
+		attr = binary.BigEndian.AppendUint32(attr, asn)
+	}
+	return attr
+}
+
+// Read parses a complete TABLE_DUMP_V2 stream.
+func Read(r io.Reader) (*Dump, error) {
+	br := bufio.NewReader(r)
+	d := &Dump{}
+	for {
+		var hdr [12]byte
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			if errors.Is(err, io.EOF) {
+				return d, nil
+			}
+			return nil, ErrTruncated
+		}
+		typ := binary.BigEndian.Uint16(hdr[4:])
+		subtype := binary.BigEndian.Uint16(hdr[6:])
+		length := binary.BigEndian.Uint32(hdr[8:])
+		if length > 1<<24 {
+			return nil, fmt.Errorf("%w: record length %d", ErrUnsupported, length)
+		}
+		body := make([]byte, length)
+		if _, err := io.ReadFull(br, body); err != nil {
+			return nil, ErrTruncated
+		}
+		if typ != typeTableDumpV2 {
+			return nil, fmt.Errorf("%w: type %d", ErrUnsupported, typ)
+		}
+		switch subtype {
+		case subtypePeerIndexTable:
+			if err := d.parsePeerIndexTable(body); err != nil {
+				return nil, err
+			}
+		case subtypeRIBIPv4Unicast:
+			if err := d.parseRIB(body); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("%w: subtype %d", ErrUnsupported, subtype)
+		}
+	}
+}
+
+func (d *Dump) parsePeerIndexTable(b []byte) error {
+	if len(b) < 8 {
+		return ErrTruncated
+	}
+	d.CollectorID = binary.BigEndian.Uint32(b)
+	nameLen := int(binary.BigEndian.Uint16(b[4:]))
+	if len(b) < 8+nameLen {
+		return ErrTruncated
+	}
+	d.ViewName = string(b[6 : 6+nameLen])
+	off := 6 + nameLen
+	nPeers := int(binary.BigEndian.Uint16(b[off:]))
+	off += 2
+	for i := 0; i < nPeers; i++ {
+		if off+13 > len(b) {
+			return ErrTruncated
+		}
+		if b[off] != 0x02 {
+			return fmt.Errorf("%w: peer type %d", ErrUnsupported, b[off])
+		}
+		var a4 [4]byte
+		copy(a4[:], b[off+5:off+9])
+		d.Peers = append(d.Peers, Peer{
+			Addr: netip.AddrFrom4(a4),
+			ASN:  binary.BigEndian.Uint32(b[off+9:]),
+		})
+		off += 13
+	}
+	return nil
+}
+
+func (d *Dump) parseRIB(b []byte) error {
+	if len(b) < 7 {
+		return ErrTruncated
+	}
+	rib := RIB{Sequence: binary.BigEndian.Uint32(b)}
+	bits := int(b[4])
+	nBytes := (bits + 7) / 8
+	if len(b) < 5+nBytes+2 || bits > 32 {
+		return ErrTruncated
+	}
+	var a4 [4]byte
+	copy(a4[:], b[5:5+nBytes])
+	p, err := netip.AddrFrom4(a4).Prefix(bits)
+	if err != nil {
+		return fmt.Errorf("mrt: bad prefix: %w", err)
+	}
+	rib.Prefix = p
+	off := 5 + nBytes
+	n := int(binary.BigEndian.Uint16(b[off:]))
+	off += 2
+	for i := 0; i < n; i++ {
+		if off+8 > len(b) {
+			return ErrTruncated
+		}
+		e := RIBEntry{
+			PeerIndex:    binary.BigEndian.Uint16(b[off:]),
+			OriginatedAt: binary.BigEndian.Uint32(b[off+2:]),
+		}
+		attrLen := int(binary.BigEndian.Uint16(b[off+6:]))
+		off += 8
+		if off+attrLen > len(b) {
+			return ErrTruncated
+		}
+		path, err := parseASPath(b[off : off+attrLen])
+		if err != nil {
+			return err
+		}
+		e.ASPath = path
+		off += attrLen
+		if int(e.PeerIndex) >= len(d.Peers) {
+			return fmt.Errorf("mrt: RIB entry references unknown peer %d", e.PeerIndex)
+		}
+		rib.Entries = append(rib.Entries, e)
+	}
+	d.RIBs = append(d.RIBs, rib)
+	return nil
+}
+
+func parseASPath(b []byte) ([]uint32, error) {
+	off := 0
+	for off+3 <= len(b) {
+		flags := b[off]
+		typ := b[off+1]
+		var alen int
+		var dataOff int
+		if flags&0x10 != 0 { // extended length
+			if off+4 > len(b) {
+				return nil, ErrTruncated
+			}
+			alen = int(binary.BigEndian.Uint16(b[off+2:]))
+			dataOff = off + 4
+		} else {
+			alen = int(b[off+2])
+			dataOff = off + 3
+		}
+		if dataOff+alen > len(b) {
+			return nil, ErrTruncated
+		}
+		if typ == bgpAttrASPath {
+			return parseASSequence(b[dataOff : dataOff+alen])
+		}
+		off = dataOff + alen
+	}
+	return nil, nil
+}
+
+func parseASSequence(b []byte) ([]uint32, error) {
+	var path []uint32
+	off := 0
+	for off+2 <= len(b) {
+		segType := b[off]
+		count := int(b[off+1])
+		off += 2
+		if off+4*count > len(b) {
+			return nil, ErrTruncated
+		}
+		if segType != asPathSegSequence {
+			return nil, fmt.Errorf("%w: AS_PATH segment type %d", ErrUnsupported, segType)
+		}
+		for i := 0; i < count; i++ {
+			path = append(path, binary.BigEndian.Uint32(b[off:]))
+			off += 4
+		}
+	}
+	return path, nil
+}

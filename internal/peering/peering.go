@@ -1,0 +1,277 @@
+// Package peering implements the paper's §3.3.3 proposal: predict the
+// existence of unobserved peering links by treating peering as a
+// recommendation problem. Networks are "shoppers", potential peers are
+// "items"; a network is likely to peer with the networks its look-alikes
+// already peer with. Features come from public information only: a
+// PeeringDB-like registry (facility presence, peering policy, network
+// type), observed adjacencies, and coarse user estimates.
+package peering
+
+import (
+	"math"
+	"sort"
+
+	"itmap/internal/apnic"
+	"itmap/internal/topology"
+)
+
+// Record is one network's public registry entry.
+type Record struct {
+	ASN        topology.ASN
+	Name       string
+	Type       topology.ASType
+	Policy     topology.PeeringPolicy
+	Facilities []topology.FacilityID
+	// UserWeight is the published (APNIC-like) user estimate.
+	UserWeight float64
+}
+
+// Registry is the PeeringDB stand-in.
+type Registry struct {
+	Records map[topology.ASN]*Record
+}
+
+// BuildRegistry assembles the registry from public per-AS information.
+func BuildRegistry(top *topology.Topology, est *apnic.Estimates) *Registry {
+	r := &Registry{Records: map[topology.ASN]*Record{}}
+	for _, asn := range top.ASNs() {
+		a := top.ASes[asn]
+		rec := &Record{
+			ASN:        asn,
+			Name:       a.Name,
+			Type:       a.Type,
+			Policy:     a.Policy,
+			Facilities: a.Facilities,
+		}
+		if est != nil {
+			if u, ok := est.Users(asn); ok {
+				rec.UserWeight = u
+			}
+		}
+		r.Records[asn] = rec
+	}
+	return r
+}
+
+// Candidate is one recommended link.
+type Candidate struct {
+	A, B             topology.ASN
+	Score            float64
+	SharedFacilities int
+}
+
+// Recommender scores candidate peerings from an observed topology.
+type Recommender struct {
+	reg      *Registry
+	top      *topology.Topology
+	observed map[topology.LinkKey]bool
+	partners map[topology.ASN]map[topology.ASN]bool
+}
+
+// NewRecommender builds a recommender over the observed link set.
+func NewRecommender(top *topology.Topology, reg *Registry, observed map[topology.LinkKey]bool) *Recommender {
+	r := &Recommender{
+		reg:      reg,
+		top:      top,
+		observed: observed,
+		partners: map[topology.ASN]map[topology.ASN]bool{},
+	}
+	for lk := range observed {
+		r.addPartner(lk.Lo, lk.Hi)
+		r.addPartner(lk.Hi, lk.Lo)
+	}
+	return r
+}
+
+func (r *Recommender) addPartner(a, b topology.ASN) {
+	if r.partners[a] == nil {
+		r.partners[a] = map[topology.ASN]bool{}
+	}
+	r.partners[a][b] = true
+}
+
+// similarity is the cosine similarity of two ASes' observed partner sets.
+func (r *Recommender) similarity(a, b topology.ASN) float64 {
+	pa, pb := r.partners[a], r.partners[b]
+	if len(pa) == 0 || len(pb) == 0 {
+		return 0
+	}
+	if len(pb) < len(pa) {
+		pa, pb = pb, pa
+	}
+	shared := 0
+	for x := range pa {
+		if pb[x] {
+			shared++
+		}
+	}
+	return float64(shared) / math.Sqrt(float64(len(pa))*float64(len(pb)))
+}
+
+// policyFactor scores the compatibility of two peering policies.
+func policyFactor(a, b topology.PeeringPolicy) float64 {
+	if a == topology.PolicyRestrictive || b == topology.PolicyRestrictive {
+		return 0.1
+	}
+	if a == topology.PolicyOpen && b == topology.PolicyOpen {
+		return 1.0
+	}
+	if a == topology.PolicyOpen || b == topology.PolicyOpen {
+		return 0.8
+	}
+	return 0.5
+}
+
+// typeFactor boosts complementary pairs: content providers court eyeballs.
+func typeFactor(a, b topology.ASType) float64 {
+	giant := func(t topology.ASType) bool {
+		return t == topology.Hypergiant || t == topology.Cloud
+	}
+	switch {
+	case giant(a) && b == topology.Eyeball, giant(b) && a == topology.Eyeball:
+		return 1.6
+	case giant(a) && b == topology.Transit, giant(b) && a == topology.Transit:
+		return 1.1
+	case a == topology.Eyeball && b == topology.Eyeball:
+		return 0.6
+	case giant(a) && giant(b):
+		return 0.9
+	default:
+		return 0.4
+	}
+}
+
+// Score rates the likelihood that a and b privately interconnect. The
+// collaborative core is Adamic–Adar common-neighbor affinity over the
+// observed graph ("my look-alikes already connect to you, through partners
+// that are selective enough to be informative") plus the direct cosine of
+// the two partner sets, modulated by policy compatibility, type
+// complementarity, user weight, and facility co-presence. A raw
+// cosine-similarity sum would over-rank pairs whose partners are low-degree
+// stubs; Adamic–Adar's 1/log(degree) weighting avoids that degree bias.
+func (r *Recommender) Score(a, b topology.ASN) (float64, int) {
+	if a == b {
+		return 0, 0
+	}
+	shared := r.top.SharedFacilities(a, b)
+	if len(shared) == 0 {
+		return 0, 0
+	}
+	ra, rb := r.reg.Records[a], r.reg.Records[b]
+	if ra == nil || rb == nil {
+		return 0, len(shared)
+	}
+	pa, pb := r.partners[a], r.partners[b]
+	if len(pb) < len(pa) {
+		pa, pb = pb, pa
+	}
+	aa := 0.0
+	for c := range pa {
+		if c == a || c == b || !pb[c] {
+			continue
+		}
+		aa += 1 / math.Log(1+float64(len(r.partners[c])))
+	}
+	cf := aa + r.similarity(a, b)
+	if cf == 0 {
+		return 0, len(shared)
+	}
+	userBoost := 1 + math.Log1p((ra.UserWeight+rb.UserWeight)/1e6)
+	facBoost := 1 + 0.08*float64(len(shared)-1)
+	score := cf * policyFactor(ra.Policy, rb.Policy) * typeFactor(ra.Type, rb.Type) *
+		userBoost * facBoost
+	return score, len(shared)
+}
+
+// Recommend returns the top candidate links (pairs co-present at a facility
+// and not already observed), by descending score.
+func (r *Recommender) Recommend(limit int) []Candidate {
+	// Index co-presence by facility to avoid the full quadratic pass.
+	byFac := map[topology.FacilityID][]topology.ASN{}
+	for _, asn := range r.top.ASNs() {
+		for _, f := range r.top.ASes[asn].Facilities {
+			byFac[f] = append(byFac[f], asn)
+		}
+	}
+	seen := map[topology.LinkKey]bool{}
+	var cands []Candidate
+	var facs []topology.FacilityID
+	for f := range byFac {
+		facs = append(facs, f)
+	}
+	sort.Slice(facs, func(i, j int) bool { return facs[i] < facs[j] })
+	for _, f := range facs {
+		members := byFac[f]
+		for i := 0; i < len(members); i++ {
+			for j := i + 1; j < len(members); j++ {
+				if members[i] == members[j] {
+					continue
+				}
+				lk := topology.MakeLinkKey(members[i], members[j])
+				if seen[lk] || r.observed[lk] {
+					continue
+				}
+				seen[lk] = true
+				score, shared := r.Score(lk.Lo, lk.Hi)
+				if score <= 0 {
+					continue
+				}
+				cands = append(cands, Candidate{
+					A: lk.Lo, B: lk.Hi, Score: score, SharedFacilities: shared,
+				})
+			}
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].Score != cands[j].Score {
+			return cands[i].Score > cands[j].Score
+		}
+		if cands[i].A != cands[j].A {
+			return cands[i].A < cands[j].A
+		}
+		return cands[i].B < cands[j].B
+	})
+	if limit > 0 && len(cands) > limit {
+		cands = cands[:limit]
+	}
+	return cands
+}
+
+// Eval summarizes recommendation quality against the true topology.
+type Eval struct {
+	K          int
+	PrecisionK float64
+	RecallK    float64
+	// HiddenLinks is the number of true links absent from the observed
+	// set (the recall denominator).
+	HiddenLinks int
+}
+
+// Evaluate computes precision@k and recall@k of the candidates against the
+// true (hidden) links of the full topology.
+func Evaluate(top *topology.Topology, observed map[topology.LinkKey]bool, cands []Candidate, k int) Eval {
+	truth := map[topology.LinkKey]bool{}
+	for _, l := range top.Links() {
+		lk := topology.MakeLinkKey(l.A, l.B)
+		if !observed[lk] {
+			truth[lk] = true
+		}
+	}
+	if k > len(cands) {
+		k = len(cands)
+	}
+	hits := 0
+	for _, c := range cands[:k] {
+		if truth[topology.MakeLinkKey(c.A, c.B)] {
+			hits++
+		}
+	}
+	ev := Eval{K: k, HiddenLinks: len(truth)}
+	if k > 0 {
+		ev.PrecisionK = float64(hits) / float64(k)
+	}
+	if len(truth) > 0 {
+		ev.RecallK = float64(hits) / float64(len(truth))
+	}
+	return ev
+}

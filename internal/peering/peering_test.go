@@ -1,0 +1,134 @@
+package peering
+
+import (
+	"testing"
+
+	"itmap/internal/apnic"
+	"itmap/internal/bgp"
+	"itmap/internal/randx"
+	"itmap/internal/topology"
+	"itmap/internal/world"
+)
+
+func setup(t testing.TB, seed int64) (*world.World, *Registry, map[topology.LinkKey]bool) {
+	t.Helper()
+	w := world.Build(world.Tiny(seed))
+	est := apnic.Estimate(w.Top, w.Users, apnic.DefaultConfig(), randx.New(seed))
+	reg := BuildRegistry(w.Top, est)
+	col := &bgp.Collector{Peers: bgp.DefaultCollectorPeers(w.Top, randx.New(seed+1))}
+	observed := col.ObservedLinks(w.Paths)
+	return w, reg, observed
+}
+
+func TestRegistryComplete(t *testing.T) {
+	w, reg, _ := setup(t, 1)
+	if len(reg.Records) != w.Top.NumASes() {
+		t.Fatalf("registry has %d records for %d ASes", len(reg.Records), w.Top.NumASes())
+	}
+	for asn, rec := range reg.Records {
+		a := w.Top.ASes[asn]
+		if rec.Type != a.Type || rec.Policy != a.Policy {
+			t.Fatalf("record mismatch for AS %d", asn)
+		}
+	}
+}
+
+func TestRecommendationsAreCandidates(t *testing.T) {
+	w, reg, observed := setup(t, 2)
+	rec := NewRecommender(w.Top, reg, observed)
+	cands := rec.Recommend(200)
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	for i, c := range cands {
+		if observed[topology.MakeLinkKey(c.A, c.B)] {
+			t.Fatalf("candidate %d-%d already observed", c.A, c.B)
+		}
+		if c.SharedFacilities < 1 {
+			t.Fatalf("candidate %d-%d shares no facility", c.A, c.B)
+		}
+		if i > 0 && cands[i].Score > cands[i-1].Score {
+			t.Fatal("candidates not sorted by score")
+		}
+	}
+}
+
+func TestPrecisionBeatsRandom(t *testing.T) {
+	w, reg, observed := setup(t, 3)
+	rec := NewRecommender(w.Top, reg, observed)
+	cands := rec.Recommend(0)
+	if len(cands) < 50 {
+		t.Fatalf("only %d candidates", len(cands))
+	}
+	k := 50
+	ev := Evaluate(w.Top, observed, cands, k)
+	if ev.HiddenLinks == 0 {
+		t.Fatal("nothing hidden — collector saw everything?")
+	}
+	// Random baseline: hidden links / co-located unlinked pairs. The
+	// recommender must beat it clearly.
+	randomPrec := float64(ev.HiddenLinks) / float64(len(cands))
+	if ev.PrecisionK < 2*randomPrec {
+		t.Errorf("precision@%d = %.3f, random = %.3f; no lift", k, ev.PrecisionK, randomPrec)
+	}
+}
+
+func TestHiddenGiantPeeringsRecovered(t *testing.T) {
+	w, reg, observed := setup(t, 4)
+	rec := NewRecommender(w.Top, reg, observed)
+	cands := rec.Recommend(0)
+	recommended := map[topology.LinkKey]bool{}
+	for _, c := range cands[:min(len(cands), 400)] {
+		recommended[topology.MakeLinkKey(c.A, c.B)] = true
+	}
+	var hidden, hit int
+	for _, l := range w.Top.Links() {
+		lk := topology.MakeLinkKey(l.A, l.B)
+		if observed[lk] || l.RelAB != topology.RelPeer {
+			continue
+		}
+		ta, tb := w.Top.ASes[l.A].Type, w.Top.ASes[l.B].Type
+		giantEyeball := (ta == topology.Hypergiant && tb == topology.Eyeball) ||
+			(tb == topology.Hypergiant && ta == topology.Eyeball)
+		if !giantEyeball {
+			continue
+		}
+		hidden++
+		if recommended[lk] {
+			hit++
+		}
+	}
+	if hidden == 0 {
+		t.Skip("no hidden giant-eyeball peerings")
+	}
+	if frac := float64(hit) / float64(hidden); frac < 0.4 {
+		t.Errorf("recovered only %.0f%% of hidden giant-eyeball peerings", frac*100)
+	}
+}
+
+func TestScoreZeroWithoutCoPresence(t *testing.T) {
+	w, reg, observed := setup(t, 5)
+	rec := NewRecommender(w.Top, reg, observed)
+	// Find two ASes with no shared facility.
+	asns := w.Top.ASNs()
+	for _, a := range asns {
+		for _, b := range asns {
+			if a >= b || len(w.Top.SharedFacilities(a, b)) > 0 {
+				continue
+			}
+			if score, shared := rec.Score(a, b); score != 0 || shared != 0 {
+				t.Fatalf("non-colocated pair scored %f", score)
+			}
+			return
+		}
+	}
+	t.Skip("every pair shares a facility")
+}
+
+func TestEvaluateEdgeCases(t *testing.T) {
+	w, _, observed := setup(t, 6)
+	ev := Evaluate(w.Top, observed, nil, 10)
+	if ev.PrecisionK != 0 || ev.RecallK != 0 {
+		t.Error("empty candidate list should score 0")
+	}
+}

@@ -1,0 +1,136 @@
+package randx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHash64Deterministic(t *testing.T) {
+	if Hash64(1, 2, 3) != Hash64(1, 2, 3) {
+		t.Fatal("hash not deterministic")
+	}
+	if Hash64(1, 2, 3) == Hash64(1, 2, 4) {
+		t.Error("hash ignores last part")
+	}
+	if Hash64(1, 2) == Hash64(2, 1) {
+		t.Error("hash ignores order")
+	}
+	if Hash64() == Hash64(0) {
+		t.Error("empty vs zero-part collide")
+	}
+}
+
+func TestHashFloatUniform(t *testing.T) {
+	n := 50000
+	var buckets [10]int
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		u := HashFloat(uint64(i), 0xabc)
+		if u < 0 || u >= 1 {
+			t.Fatalf("HashFloat out of range: %f", u)
+		}
+		buckets[int(u*10)]++
+		sum += u
+	}
+	if mean := sum / float64(n); math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("mean %f, want 0.5", mean)
+	}
+	for b, c := range buckets {
+		if c < n/10-n/50 || c > n/10+n/50 {
+			t.Errorf("bucket %d has %d of %d", b, c, n)
+		}
+	}
+}
+
+func TestHashBoolRate(t *testing.T) {
+	n := 40000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if HashBool(0.3, uint64(i), 0xdef) {
+			hits++
+		}
+	}
+	rate := float64(hits) / float64(n)
+	if math.Abs(rate-0.3) > 0.01 {
+		t.Errorf("HashBool(0.3) rate %f", rate)
+	}
+	if HashBool(0, 1) {
+		t.Error("p=0 fired")
+	}
+	if !HashBool(1.1, 1) {
+		t.Error("p>1 did not fire")
+	}
+}
+
+func TestHashNormMoments(t *testing.T) {
+	n := 60000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := HashNorm(uint64(i), 0x123)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean %f", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("normal variance %f", variance)
+	}
+}
+
+func TestHashLognormalMedian(t *testing.T) {
+	n := 40000
+	above := 0
+	for i := 0; i < n; i++ {
+		if HashLognormal(0, 0.4, uint64(i), 0x77) > 1 {
+			above++
+		}
+	}
+	frac := float64(above) / float64(n)
+	if frac < 0.48 || frac > 0.52 {
+		t.Errorf("lognormal median fraction %f", frac)
+	}
+	// mu shifts the median.
+	if HashLognormal(5, 0.0001, 1, 2) < 100 {
+		t.Error("mu=5 lognormal too small")
+	}
+}
+
+func TestHashPropertyStable(t *testing.T) {
+	f := func(a, b uint64) bool {
+		return HashFloat(a, b) == HashFloat(a, b) &&
+			HashNorm(a, b) == HashNorm(a, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSourceMiscHelpers(t *testing.T) {
+	s := New(5)
+	if v := s.Exp(2); v < 0 {
+		t.Errorf("Exp negative: %f", v)
+	}
+	trues := 0
+	for i := 0; i < 10000; i++ {
+		if s.Bool(0.5) {
+			trues++
+		}
+	}
+	if trues < 4700 || trues > 5300 {
+		t.Errorf("Bool(0.5) fired %d/10000", trues)
+	}
+	_ = s.NormFloat64()
+	if got := s.IntBetween(7, 7); got != 7 {
+		t.Errorf("IntBetween(7,7) = %d", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("IntBetween(5,3) did not panic")
+		}
+	}()
+	s.IntBetween(5, 3)
+}

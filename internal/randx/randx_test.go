@@ -1,0 +1,180 @@
+package randx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(99), New(99)
+	for i := 0; i < 1000; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	parent := New(1)
+	c1 := parent.Fork()
+	c2 := parent.Fork()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if c1.Int63() == c2.Int63() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("forked sources produced %d/100 identical draws", same)
+	}
+}
+
+func TestIntBetweenBounds(t *testing.T) {
+	f := func(lo int8, span uint8) bool {
+		s := New(3)
+		hi := int(lo) + int(span)
+		v := s.IntBetween(int(lo), hi)
+		return v >= int(lo) && v <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLognormalMedian(t *testing.T) {
+	s := New(7)
+	n := 20000
+	above := 0
+	for i := 0; i < n; i++ {
+		if s.Lognormal(0, 0.5) > 1 {
+			above++
+		}
+	}
+	frac := float64(above) / float64(n)
+	if frac < 0.47 || frac > 0.53 {
+		t.Errorf("lognormal(0,.5) median fraction above 1 = %.3f, want ~0.5", frac)
+	}
+}
+
+func TestParetoTail(t *testing.T) {
+	s := New(11)
+	n := 50000
+	min, big := math.Inf(1), 0
+	for i := 0; i < n; i++ {
+		v := s.Pareto(2, 1.5)
+		if v < min {
+			min = v
+		}
+		if v > 20 {
+			big++
+		}
+	}
+	if min < 2 {
+		t.Errorf("Pareto(2,1.5) produced value %f below xm", min)
+	}
+	// P(X>20) = (2/20)^1.5 ≈ 0.0316
+	frac := float64(big) / float64(n)
+	if frac < 0.02 || frac > 0.05 {
+		t.Errorf("Pareto tail mass %.4f, want ≈0.032", frac)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	s := New(13)
+	for _, mean := range []float64{0.5, 4, 50} {
+		total := 0
+		n := 20000
+		for i := 0; i < n; i++ {
+			total += s.Poisson(mean)
+		}
+		got := float64(total) / float64(n)
+		if math.Abs(got-mean) > 0.1*mean+0.05 {
+			t.Errorf("Poisson(%v) sample mean %.3f", mean, got)
+		}
+	}
+	if s.Poisson(0) != 0 || s.Poisson(-1) != 0 {
+		t.Error("Poisson of non-positive mean should be 0")
+	}
+}
+
+func TestZipfWeights(t *testing.T) {
+	z := NewZipf(100, 1.0)
+	total := 0.0
+	for k := 1; k <= 100; k++ {
+		w := z.Weight(k)
+		if w <= 0 {
+			t.Fatalf("weight(%d) = %f", k, w)
+		}
+		total += w
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Errorf("weights sum to %f", total)
+	}
+	if z.Weight(1) <= z.Weight(2) {
+		t.Error("Zipf weights not decreasing")
+	}
+	if math.Abs(z.CumWeight(100)-1) > 1e-9 {
+		t.Errorf("CumWeight(N) = %f", z.CumWeight(100))
+	}
+	if z.Weight(0) != 0 || z.Weight(101) != 0 {
+		t.Error("out-of-range weights should be 0")
+	}
+}
+
+func TestZipfSampleDistribution(t *testing.T) {
+	s := New(17)
+	z := NewZipf(50, 1.2)
+	counts := make([]int, 51)
+	n := 50000
+	for i := 0; i < n; i++ {
+		k := z.Sample(s)
+		if k < 1 || k > 50 {
+			t.Fatalf("sample out of range: %d", k)
+		}
+		counts[k]++
+	}
+	// Empirical mass of rank 1 should be near its analytic weight.
+	want := z.Weight(1)
+	got := float64(counts[1]) / float64(n)
+	if math.Abs(got-want) > 0.02 {
+		t.Errorf("rank-1 mass %.3f, want %.3f", got, want)
+	}
+	if counts[1] <= counts[10] {
+		t.Error("rank 1 not more popular than rank 10")
+	}
+}
+
+func TestWeightedChoice(t *testing.T) {
+	s := New(19)
+	w := []float64{1, 0, 3}
+	counts := make([]int, 3)
+	for i := 0; i < 40000; i++ {
+		counts[s.WeightedChoice(w)]++
+	}
+	if counts[1] != 0 {
+		t.Errorf("zero-weight index chosen %d times", counts[1])
+	}
+	ratio := float64(counts[2]) / float64(counts[0])
+	if ratio < 2.6 || ratio > 3.4 {
+		t.Errorf("weight ratio %.2f, want ~3", ratio)
+	}
+	// All-zero weights fall back to uniform without panicking.
+	_ = s.WeightedChoice([]float64{0, 0})
+}
+
+func TestPowerLawDegrees(t *testing.T) {
+	s := New(23)
+	d := s.PowerLawDegrees(1000, 2.2, 1, 64)
+	if len(d) != 1000 {
+		t.Fatalf("got %d degrees", len(d))
+	}
+	for i, v := range d {
+		if v < 1 || v > 64 {
+			t.Fatalf("degree %d out of bounds", v)
+		}
+		if i > 0 && d[i] > d[i-1] {
+			t.Fatal("degrees not sorted descending")
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package topology
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestExportJSON(t *testing.T) {
+	top := Generate(TinyGenConfig(1))
+	var buf bytes.Buffer
+	if err := top.ExportJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc TopologyDocument
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.ASes) != top.NumASes() {
+		t.Errorf("exported %d ASes, world has %d", len(doc.ASes), top.NumASes())
+	}
+	if len(doc.Links) != top.NumLinks() {
+		t.Errorf("exported %d links, world has %d", len(doc.Links), top.NumLinks())
+	}
+	rootOps := 0
+	for _, a := range doc.ASes {
+		if a.RootOperator {
+			rootOps++
+		}
+		if a.Type == "" || a.Name == "" {
+			t.Fatalf("incomplete AS export %+v", a)
+		}
+	}
+	if rootOps == 0 {
+		t.Error("root operators lost in export")
+	}
+}
+
+func TestExportDOT(t *testing.T) {
+	top := Generate(TinyGenConfig(2))
+	var buf bytes.Buffer
+	if err := top.ExportDOT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "graph itmap {") || !strings.HasSuffix(strings.TrimSpace(out), "}") {
+		t.Error("not a DOT graph")
+	}
+	if strings.Count(out, " -- ") != top.NumLinks() {
+		t.Errorf("DOT has %d edges, world has %d links", strings.Count(out, " -- "), top.NumLinks())
+	}
+	for _, want := range []string{"doubleoctagon", "style=dashed", "style=dotted"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q", want)
+		}
+	}
+	// Deterministic output.
+	var buf2 bytes.Buffer
+	if err := top.ExportDOT(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Error("DOT export not deterministic")
+	}
+}

@@ -1,0 +1,36 @@
+package topology
+
+// Subgraph returns a copy of the topology that keeps only the links for
+// which keep returns true. ASes, facilities, IXPs, and prefix ownership are
+// preserved. The result is what a researcher reconstructs from partial
+// observations (route collectors, traceroutes): relationships on kept links
+// are the true ones, modelling accurate relationship inference on observed
+// links, while unobserved links are simply absent.
+func (t *Topology) Subgraph(keep func(LinkInfo) bool) *Topology {
+	sub := NewTopology()
+	sub.Allocator = t.Allocator
+	sub.Facilities = t.Facilities
+	sub.IXPs = t.IXPs
+	sub.PrefixOwner = t.PrefixOwner
+	sub.PrefixCity = t.PrefixCity
+	for _, asn := range t.ASNs() {
+		a := t.ASes[asn]
+		cp := *a
+		cp.Neighbors = nil
+		sub.AddAS(&cp)
+	}
+	for _, l := range t.Links() {
+		if keep(l) {
+			sub.AddLink(l.A, l.B, l.RelAB, l.Kind, l.Facility)
+		}
+	}
+	sub.Freeze()
+	return sub
+}
+
+// SubgraphWithLinks keeps exactly the given undirected link set.
+func (t *Topology) SubgraphWithLinks(links map[LinkKey]bool) *Topology {
+	return t.Subgraph(func(l LinkInfo) bool {
+		return links[MakeLinkKey(l.A, l.B)]
+	})
+}

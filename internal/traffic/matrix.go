@@ -1,0 +1,185 @@
+package traffic
+
+import (
+	"sort"
+
+	"itmap/internal/randx"
+	"itmap/internal/services"
+	"itmap/internal/topology"
+)
+
+// Flow is one aggregated ground-truth flow: all traffic from one client AS
+// to one serving site for one service.
+type Flow struct {
+	ClientAS topology.ASN
+	Svc      services.ServiceID
+	Site     *services.Site
+	Bytes    float64
+	// Hops is the AS-path length from the client AS to the AS hosting
+	// the serving site (0 = served inside the client's own network).
+	Hops int
+}
+
+// Matrix is the materialized ground-truth traffic map the ITM tries to
+// estimate: who talks to whom, how much, and over which links.
+type Matrix struct {
+	// PerService indexes daily bytes by ServiceID.
+	PerService []float64
+	// PerOwner is daily bytes by service-owner AS.
+	PerOwner map[topology.ASN]float64
+	// ClientASBytes is daily bytes by client AS.
+	ClientASBytes map[topology.ASN]float64
+	// ASLoad is the daily bytes carried by (originating at, terminating
+	// at, or transiting) each AS.
+	ASLoad map[topology.ASN]float64
+	// LinkLoad is daily bytes per inter-AS link.
+	LinkLoad map[topology.LinkKey]float64
+	// RefCDNByPrefix is the reference CDN's "server log": daily bytes
+	// per client prefix — the validation ground truth of §3.1.2.
+	RefCDNByPrefix map[topology.PrefixID]float64
+	// RefCDNByAS aggregates the server log by client AS.
+	RefCDNByAS map[topology.ASN]float64
+	// Flows lists every aggregated flow.
+	Flows []Flow
+	// TailBytes is the volume to long-tail self-hosted destinations
+	// (counted in TotalBytes, PerOwner, ASLoad, LinkLoad but not
+	// PerService).
+	TailBytes float64
+	// TotalBytes is the world's daily traffic volume.
+	TotalBytes float64
+}
+
+// BuildMatrix materializes the ground truth for one average day.
+func (m *Model) BuildMatrix() *Matrix {
+	top := m.Top
+	mx := &Matrix{
+		PerService:     make([]float64, len(m.Cat.Services)),
+		PerOwner:       map[topology.ASN]float64{},
+		ClientASBytes:  map[topology.ASN]float64{},
+		ASLoad:         map[topology.ASN]float64{},
+		LinkLoad:       map[topology.LinkKey]float64{},
+		RefCDNByPrefix: map[topology.PrefixID]float64{},
+		RefCDNByAS:     map[topology.ASN]float64{},
+	}
+	// Tail destinations: every enterprise and academic AS self-hosts a
+	// little content.
+	var tailHosts []topology.ASN
+	tailHosts = append(tailHosts, top.ASesOfType(topology.Enterprise)...)
+	tailHosts = append(tailHosts, top.ASesOfType(topology.Academic)...)
+
+	for _, clientAS := range top.ASNs() {
+		a := top.ASes[clientAS]
+		if m.Users.ASUsers(clientAS) == 0 {
+			continue
+		}
+		for _, svc := range m.Cat.Services {
+			// Per-AS volume: sum of the pure per-prefix function.
+			bytes := 0.0
+			for _, p := range a.Prefixes {
+				b := m.DailyBytes(p, svc)
+				bytes += b
+				if svc.Owner == m.Cat.ReferenceCDN && b > 0 {
+					mx.RefCDNByPrefix[p] += b
+				}
+			}
+			if bytes == 0 {
+				continue
+			}
+			if svc.Owner == m.Cat.ReferenceCDN {
+				mx.RefCDNByAS[clientAS] += bytes
+			}
+			mx.PerService[svc.ID] += bytes
+			mx.PerOwner[svc.Owner] += bytes
+			mx.ClientASBytes[clientAS] += bytes
+			mx.TotalBytes += bytes
+			for _, ss := range m.Assign(svc, clientAS) {
+				fb := bytes * ss.Share
+				if fb == 0 {
+					continue
+				}
+				hops := m.routeFlow(mx, clientAS, ss.Site.HostAS, fb)
+				mx.Flows = append(mx.Flows, Flow{
+					ClientAS: clientAS, Svc: svc.ID, Site: ss.Site,
+					Bytes: fb, Hops: hops,
+				})
+			}
+		}
+		// Long-tail demand to self-hosted destinations.
+		catBytes := mx.ClientASBytes[clientAS]
+		if catBytes == 0 || len(tailHosts) == 0 || m.TailShare <= 0 {
+			continue
+		}
+		tailBytes := catBytes * m.TailShare / (1 - m.TailShare)
+		weights := make([]float64, m.TailFanout)
+		var wsum float64
+		for i := range weights {
+			weights[i] = randx.HashLognormal(0, 0.8, m.seed, 0x7a11, uint64(clientAS), uint64(i))
+			wsum += weights[i]
+		}
+		for i := 0; i < m.TailFanout; i++ {
+			host := tailHosts[randx.Hash64(m.seed, 0x7a12, uint64(clientAS), uint64(i))%uint64(len(tailHosts))]
+			b := tailBytes * weights[i] / wsum
+			m.routeFlow(mx, clientAS, host, b)
+			mx.PerOwner[host] += b
+			mx.ClientASBytes[clientAS] += b
+			mx.TailBytes += b
+			mx.TotalBytes += b
+		}
+	}
+	return mx
+}
+
+// routeFlow adds a flow's bytes to the AS and link loads along its BGP path
+// and returns the hop count (-1 if unrouted).
+func (m *Model) routeFlow(mx *Matrix, from, to topology.ASN, bytes float64) int {
+	if from == to {
+		mx.ASLoad[from] += bytes
+		return 0
+	}
+	path := m.Paths.Path(from, to)
+	if path == nil {
+		return -1
+	}
+	for i, asn := range path {
+		mx.ASLoad[asn] += bytes
+		if i+1 < len(path) {
+			mx.LinkLoad[topology.MakeLinkKey(asn, path[i+1])] += bytes
+		}
+	}
+	return len(path) - 1
+}
+
+// TopOwners returns service owners by descending traffic share.
+func (mx *Matrix) TopOwners() []OwnerShare {
+	var out []OwnerShare
+	for asn, b := range mx.PerOwner {
+		out = append(out, OwnerShare{ASN: asn, Bytes: b, Share: b / mx.TotalBytes})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Bytes != out[j].Bytes {
+			return out[i].Bytes > out[j].Bytes
+		}
+		return out[i].ASN < out[j].ASN
+	})
+	return out
+}
+
+// OwnerShare is one service owner's traffic share.
+type OwnerShare struct {
+	ASN   topology.ASN
+	Bytes float64
+	Share float64
+}
+
+// CumulativeTopShare returns the traffic share of the top-k owners.
+func (mx *Matrix) CumulativeTopShare(k int) float64 {
+	owners := mx.TopOwners()
+	if k > len(owners) {
+		k = len(owners)
+	}
+	total := 0.0
+	for _, o := range owners[:k] {
+		total += o.Share
+	}
+	return total
+}

@@ -1,0 +1,95 @@
+// Package volreports models the §4 call to action: "we envision members of
+// the research and operator community making available ... aggregated
+// volume reports of networks". A contributing operator publishes its
+// network's total daily volume (with reporting noise); a handful of such
+// reports calibrates the map's *relative* activity estimates into
+// *absolute* volumes for every network — turning "prefix1 has twice the
+// activity of prefix2" into bytes.
+package volreports
+
+import (
+	"sort"
+
+	"itmap/internal/randx"
+	"itmap/internal/topology"
+	"itmap/internal/traffic"
+)
+
+// Report is one operator's contributed aggregate.
+type Report struct {
+	ASN topology.ASN
+	Day int
+	// TotalBytes is the network's self-reported daily client traffic.
+	TotalBytes float64
+}
+
+// Contribute produces a network's report from its (privately known) ground
+// truth, with multiplicative reporting noise — operators bill in 95th
+// percentiles and round, they do not publish exact byte counts.
+func Contribute(mx *traffic.Matrix, asn topology.ASN, day int, noiseSigma float64, seed int64) Report {
+	truth := mx.ClientASBytes[asn]
+	noise := randx.HashLognormal(0, noiseSigma, uint64(seed), 0x60e, uint64(asn), uint64(day))
+	return Report{ASN: asn, Day: day, TotalBytes: truth * noise}
+}
+
+// Calibration converts relative activity units into bytes/day.
+type Calibration struct {
+	// BytesPerUnit is the median ratio of reported bytes to map
+	// activity across contributors.
+	BytesPerUnit float64
+	// Contributors is how many reports informed the calibration.
+	Contributors int
+}
+
+// Calibrate fits the scale factor from contributed reports against the
+// map's per-AS activity estimates. The median ratio is robust to a minority
+// of bad reports or bad estimates.
+func Calibrate(activity map[topology.ASN]float64, reports []Report) Calibration {
+	var ratios []float64
+	for _, r := range reports {
+		if act := activity[r.ASN]; act > 0 && r.TotalBytes > 0 {
+			ratios = append(ratios, r.TotalBytes/act)
+		}
+	}
+	if len(ratios) == 0 {
+		return Calibration{}
+	}
+	sort.Float64s(ratios)
+	return Calibration{BytesPerUnit: ratios[len(ratios)/2], Contributors: len(ratios)}
+}
+
+// AbsoluteVolume converts one AS's relative activity into bytes/day.
+func (c Calibration) AbsoluteVolume(activity float64) float64 {
+	return activity * c.BytesPerUnit
+}
+
+// Eval scores calibrated absolute estimates against ground truth.
+type Eval struct {
+	// MedianAPE is the median absolute percentage error across ASes with
+	// both an estimate and truth.
+	MedianAPE float64
+	// Covered is the number of ASes evaluated.
+	Covered int
+}
+
+// Evaluate compares calibrated volumes with the true per-AS client bytes.
+func Evaluate(c Calibration, activity map[topology.ASN]float64, mx *traffic.Matrix) Eval {
+	var apes []float64
+	for asn, act := range activity {
+		truth := mx.ClientASBytes[asn]
+		if truth <= 0 {
+			continue
+		}
+		est := c.AbsoluteVolume(act)
+		ape := est/truth - 1
+		if ape < 0 {
+			ape = -ape
+		}
+		apes = append(apes, ape)
+	}
+	if len(apes) == 0 {
+		return Eval{}
+	}
+	sort.Float64s(apes)
+	return Eval{MedianAPE: apes[len(apes)/2], Covered: len(apes)}
+}

@@ -1,0 +1,109 @@
+package volreports
+
+import (
+	"sort"
+	"testing"
+
+	"itmap/internal/topology"
+	"itmap/internal/traffic"
+	"itmap/internal/world"
+)
+
+func TestCalibrationFromPerfectActivity(t *testing.T) {
+	w := world.Build(world.Tiny(1))
+	mx := w.Traffic.BuildMatrix()
+	// Perfect relative activity: the truth itself, scaled arbitrarily.
+	activity := map[topology.ASN]float64{}
+	for asn, b := range mx.ClientASBytes {
+		activity[asn] = b / 1e9
+	}
+	// Three contributors, mild reporting noise.
+	contributors := topContributors(w, mx, 3)
+	var reports []Report
+	for _, asn := range contributors {
+		reports = append(reports, Contribute(mx, asn, 0, 0.10, 7))
+	}
+	c := Calibrate(activity, reports)
+	if c.Contributors != 3 {
+		t.Fatalf("contributors %d", c.Contributors)
+	}
+	ev := Evaluate(c, activity, mx)
+	if ev.MedianAPE > 0.15 {
+		t.Errorf("median APE %.2f with perfect relative activity", ev.MedianAPE)
+	}
+	if ev.Covered < 20 {
+		t.Errorf("only %d ASes covered", ev.Covered)
+	}
+}
+
+func TestMoreContributorsHelp(t *testing.T) {
+	w := world.Build(world.Tiny(2))
+	mx := w.Traffic.BuildMatrix()
+	// Noisy relative activity (a realistic map).
+	activity := map[topology.ASN]float64{}
+	i := 0
+	for asn, b := range mx.ClientASBytes {
+		f := 0.6
+		if i%3 == 0 {
+			f = 1.5
+		}
+		activity[asn] = b * f
+		i++
+	}
+	cands := topContributors(w, mx, 12)
+	evalWith := func(n int) float64 {
+		var reports []Report
+		for _, asn := range cands[:n] {
+			reports = append(reports, Contribute(mx, asn, 0, 0.15, 3))
+		}
+		return Evaluate(Calibrate(activity, reports), activity, mx).MedianAPE
+	}
+	one := evalWith(1)
+	many := evalWith(12)
+	if many > one+0.05 {
+		t.Errorf("12 contributors (APE %.2f) worse than 1 (%.2f)", many, one)
+	}
+}
+
+func TestCalibrateEdgeCases(t *testing.T) {
+	c := Calibrate(nil, nil)
+	if c.BytesPerUnit != 0 || c.Contributors != 0 {
+		t.Error("empty calibration not zero")
+	}
+	// Reports for unknown ASes are ignored.
+	c = Calibrate(map[topology.ASN]float64{1: 10}, []Report{{ASN: 99, TotalBytes: 5}})
+	if c.Contributors != 0 {
+		t.Error("unknown-AS report used")
+	}
+	empty := &traffic.Matrix{ClientASBytes: map[topology.ASN]float64{}}
+	if ev := Evaluate(c, nil, empty); ev.Covered != 0 {
+		t.Error("empty evaluation not zero")
+	}
+}
+
+// topContributors returns the n largest client ASes by true volume — the
+// networks most likely to run measurement-friendly operations.
+func topContributors(w *world.World, mx *traffic.Matrix, n int) []topology.ASN {
+	type row struct {
+		asn topology.ASN
+		b   float64
+	}
+	var rows []row
+	for asn, b := range mx.ClientASBytes {
+		rows = append(rows, row{asn, b})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].b != rows[j].b {
+			return rows[i].b > rows[j].b
+		}
+		return rows[i].asn < rows[j].asn
+	})
+	if n > len(rows) {
+		n = len(rows)
+	}
+	out := make([]topology.ASN, n)
+	for i := 0; i < n; i++ {
+		out[i] = rows[i].asn
+	}
+	return out
+}
