@@ -285,6 +285,41 @@ func BenchmarkGroundTruthMatrix(b *testing.B) {
 	}
 }
 
+// BenchmarkBuildMatrix measures the parallel shard-and-merge ground-truth
+// build at SmallConfig; BenchmarkBuildMatrixSerial pins one worker so the
+// parallel speedup and the per-op allocation budget are both visible in
+// one -bench run.
+func BenchmarkBuildMatrix(b *testing.B) {
+	s := sharedSession(b)
+	s.W.Traffic.BuildMatrix() // warm the assignment memo once
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.W.Traffic.BuildMatrix()
+	}
+}
+
+func BenchmarkBuildMatrixSerial(b *testing.B) {
+	s := sharedSession(b)
+	s.W.Traffic.BuildMatrix()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.W.Traffic.BuildMatrixWorkers(1)
+	}
+}
+
+// BenchmarkComputeAll measures the full-origin BGP sweep (atomic-counter
+// worker pool + pooled dense scratch) on the SmallConfig topology.
+func BenchmarkComputeAll(b *testing.B) {
+	s := sharedSession(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bgp.ComputeAll(s.W.Top)
+	}
+}
+
 func BenchmarkCacheProbeDiscovery(b *testing.B) {
 	s := sharedSession(b)
 	pb := &cacheprobe.Prober{PR: s.W.PR, Domains: s.W.Cat.ECSDomains()[:8]}

@@ -9,9 +9,10 @@ package bgp
 
 import (
 	"fmt"
-	"runtime"
+	"math"
 	"sync"
 
+	"itmap/internal/parallel"
 	"itmap/internal/topology"
 )
 
@@ -68,6 +69,54 @@ type RIB struct {
 // Origin returns the destination AS this RIB routes toward.
 func (r *RIB) Origin() topology.ASN { return r.origin }
 
+// scratch holds the per-level candidate state ComputeRIB needs, as dense
+// epoch-stamped slices instead of per-level maps. One scratch is reused
+// across every origin a worker sweeps (via scratchPool), so the per-origin
+// allocation cost is just the RIB's three output arrays.
+type scratch struct {
+	epoch uint32
+	// stamp[i] == epoch marks i as a candidate in the current round;
+	// bumping epoch clears all candidates in O(1).
+	stamp []uint32
+	// via[i] is the best (min-ASN) next hop offered to candidate i this
+	// round; offLen[i] is the offered path length (phase 2 only).
+	via    []int32
+	offLen []uint16
+	// candA/candB are the frontier and the next-candidate list; phases
+	// ping-pong between them so both retain capacity.
+	candA, candB []int32
+	// buckets is phase 3's path-length bucket queue.
+	buckets [][]int32
+}
+
+var scratchPool sync.Pool
+
+func getScratch(n int) *scratch {
+	s, _ := scratchPool.Get().(*scratch)
+	if s == nil {
+		s = &scratch{}
+	}
+	if len(s.stamp) < n {
+		s.stamp = make([]uint32, n)
+		s.via = make([]int32, n)
+		s.offLen = make([]uint16, n)
+		s.epoch = 0
+	}
+	return s
+}
+
+// nextEpoch starts a fresh candidate round, handling uint32 wraparound.
+func (s *scratch) nextEpoch() uint32 {
+	if s.epoch == math.MaxUint32 {
+		for i := range s.stamp {
+			s.stamp[i] = 0
+		}
+		s.epoch = 0
+	}
+	s.epoch++
+	return s.epoch
+}
+
 // ComputeRIB computes best routes from every AS toward origin using
 // three-phase Gao–Rexford propagation.
 func ComputeRIB(top *topology.Topology, origin topology.ASN) *RIB {
@@ -88,111 +137,144 @@ func ComputeRIB(top *topology.Topology, origin topology.ASN) *RIB {
 	}
 	r.Type[oi] = Origin
 	asns := top.ASNs()
+	li := top.LinkIndex() // CSR neighbor rows: no map lookups below
+	s := getScratch(n)
+	defer scratchPool.Put(s)
 
 	// Phase 1: customer routes climb provider links. BFS by level with
 	// deterministic min-ASN next-hop selection per level.
-	frontier := []int{oi}
+	frontier := append(s.candA[:0], int32(oi))
+	next := s.candB[:0]
 	for level := uint16(1); len(frontier) > 0; level++ {
-		next := map[int]int{} // candidate idx -> best (min-ASN) next hop idx
-		for _, ui := range frontier {
+		e := s.nextEpoch()
+		next = next[:0]
+		for _, uiv := range frontier {
+			ui := int(uiv)
+			nbrs, _ := li.Row(ui)
 			u := top.ASes[asns[ui]]
-			for _, nb := range u.Neighbors {
-				if nb.Rel != topology.RelProvider {
+			for k := range u.Neighbors {
+				if u.Neighbors[k].Rel != topology.RelProvider {
 					continue
 				}
-				pi, _ := top.Index(nb.ASN)
+				pi := int(nbrs[k])
 				if r.Type[pi] != Unreachable {
 					continue // already has a customer route (or is origin)
 				}
-				if cur, seen := next[pi]; !seen || asns[ui] < asns[cur] {
-					next[pi] = ui
+				if s.stamp[pi] != e {
+					s.stamp[pi] = e
+					s.via[pi] = uiv
+					next = append(next, int32(pi))
+				} else if asns[ui] < asns[s.via[pi]] {
+					s.via[pi] = uiv
 				}
 			}
 		}
-		frontier = frontier[:0]
-		for pi, via := range next {
+		for _, piv := range next {
+			pi := int(piv)
 			r.Type[pi] = ViaCustomer
-			r.NextHop[pi] = int32(via)
+			r.NextHop[pi] = s.via[pi]
 			r.PathLen[pi] = level
-			frontier = append(frontier, pi)
 		}
+		frontier, next = next, frontier
 	}
+	s.candA, s.candB = frontier[:0], next[:0] // keep grown capacity pooled
 
 	// Phase 2: ASes with customer routes (or the origin) export to peers;
 	// peer routes take one peer hop and are not re-exported upward.
-	type peerOffer struct {
-		len uint16
-		via int
-	}
-	offers := map[int]peerOffer{}
+	e := s.nextEpoch()
+	offered := s.candA[:0]
 	for ui := 0; ui < n; ui++ {
 		if r.Type[ui] != ViaCustomer && r.Type[ui] != Origin {
 			continue
 		}
+		nbrs, _ := li.Row(ui)
 		u := top.ASes[asns[ui]]
-		for _, nb := range u.Neighbors {
-			if nb.Rel != topology.RelPeer {
+		for k := range u.Neighbors {
+			if u.Neighbors[k].Rel != topology.RelPeer {
 				continue
 			}
-			vi, _ := top.Index(nb.ASN)
+			vi := int(nbrs[k])
 			if r.Type[vi] == ViaCustomer || r.Type[vi] == Origin {
 				continue // customer routes beat peer routes
 			}
-			offer := peerOffer{len: r.PathLen[ui] + 1, via: ui}
-			cur, seen := offers[vi]
-			if !seen || offer.len < cur.len ||
-				(offer.len == cur.len && asns[offer.via] < asns[cur.via]) {
-				offers[vi] = offer
+			olen := r.PathLen[ui] + 1
+			if s.stamp[vi] != e {
+				s.stamp[vi] = e
+				s.via[vi] = int32(ui)
+				s.offLen[vi] = olen
+				offered = append(offered, int32(vi))
+			} else if olen < s.offLen[vi] ||
+				(olen == s.offLen[vi] && asns[ui] < asns[s.via[vi]]) {
+				s.via[vi] = int32(ui)
+				s.offLen[vi] = olen
 			}
 		}
 	}
-	for vi, o := range offers {
+	for _, viv := range offered {
+		vi := int(viv)
 		r.Type[vi] = ViaPeer
-		r.NextHop[vi] = int32(o.via)
-		r.PathLen[vi] = o.len
+		r.NextHop[vi] = s.via[vi]
+		r.PathLen[vi] = s.offLen[vi]
 	}
+	s.candA = offered[:0]
 
 	// Phase 3: everything with a route exports to customers; provider
 	// routes propagate down. Dijkstra by path length (bucket queue) with
 	// min-ASN tie-break.
 	maxLen := uint16(n + 2)
-	buckets := make([][]int, maxLen+2)
+	if cap(s.buckets) < int(maxLen)+2 {
+		s.buckets = make([][]int32, maxLen+2)
+	}
+	buckets := s.buckets[:maxLen+2]
+	for i := range buckets {
+		buckets[i] = buckets[i][:0]
+	}
 	for ui := 0; ui < n; ui++ {
 		if r.Type[ui] != Unreachable {
-			buckets[r.PathLen[ui]] = append(buckets[r.PathLen[ui]], ui)
+			buckets[r.PathLen[ui]] = append(buckets[r.PathLen[ui]], int32(ui))
 		}
 	}
 	for l := uint16(0); l <= maxLen; l++ {
 		// Deterministic next-hop choice among equal-length parents:
 		// collect candidates for this level first.
-		cands := map[int]int{}
-		for _, ui := range buckets[l] {
+		e := s.nextEpoch()
+		cands := s.candA[:0]
+		for _, uiv := range buckets[l] {
+			ui := int(uiv)
 			if r.PathLen[ui] != l || r.Type[ui] == Unreachable {
 				continue
 			}
+			nbrs, _ := li.Row(ui)
 			u := top.ASes[asns[ui]]
-			for _, nb := range u.Neighbors {
-				if nb.Rel != topology.RelCustomer {
+			for k := range u.Neighbors {
+				if u.Neighbors[k].Rel != topology.RelCustomer {
 					continue
 				}
-				ci, _ := top.Index(nb.ASN)
+				ci := int(nbrs[k])
 				if r.Type[ci] != Unreachable {
 					continue
 				}
-				if cur, seen := cands[ci]; !seen || asns[ui] < asns[cur] {
-					cands[ci] = ui
+				if s.stamp[ci] != e {
+					s.stamp[ci] = e
+					s.via[ci] = uiv
+					cands = append(cands, int32(ci))
+				} else if asns[ui] < asns[s.via[ci]] {
+					s.via[ci] = uiv
 				}
 			}
 		}
-		for ci, via := range cands {
+		for _, civ := range cands {
+			ci := int(civ)
 			r.Type[ci] = ViaProvider
-			r.NextHop[ci] = int32(via)
+			r.NextHop[ci] = s.via[ci]
 			r.PathLen[ci] = l + 1
 			if l+1 <= maxLen {
-				buckets[l+1] = append(buckets[l+1], ci)
+				buckets[l+1] = append(buckets[l+1], civ)
 			}
 		}
+		s.candA = cands[:0]
 	}
+	s.buckets = buckets
 	return r
 }
 
@@ -209,16 +291,71 @@ func (r *RIB) PathFrom(src topology.ASN) []topology.ASN {
 	if !ok || r.Type[i] == Unreachable {
 		return nil
 	}
+	return r.AppendPathFrom(make([]topology.ASN, 0, r.PathLen[i]+1), src)
+}
+
+// AppendPathFrom appends the AS path src→origin (inclusive of both ends) to
+// dst and returns the extended slice — zero-alloc when dst has capacity.
+// dst is returned unchanged if src is unknown or unreachable.
+func (r *RIB) AppendPathFrom(dst []topology.ASN, src topology.ASN) []topology.ASN {
+	i, ok := r.top.Index(src)
+	if !ok || r.Type[i] == Unreachable {
+		return dst
+	}
 	asns := r.top.ASNs()
-	path := []topology.ASN{src}
+	base := len(dst)
+	dst = append(dst, src)
 	for r.Type[i] != Origin {
 		i = int(r.NextHop[i])
-		path = append(path, asns[i])
-		if len(path) > r.top.NumASes() {
+		dst = append(dst, asns[i])
+		if len(dst)-base > r.top.NumASes() {
 			panic("bgp: next-hop cycle")
 		}
 	}
-	return path
+	return dst
+}
+
+// VisitPath streams the path src→origin through visit, one AS per hop
+// (src first, origin last), without allocating. It returns the hop count,
+// or -1 if src is unknown or unreachable.
+func (r *RIB) VisitPath(src topology.ASN, visit func(asn topology.ASN)) int {
+	i, ok := r.top.Index(src)
+	if !ok || r.Type[i] == Unreachable {
+		return -1
+	}
+	asns := r.top.ASNs()
+	hops := 0
+	visit(src)
+	for r.Type[i] != Origin {
+		i = int(r.NextHop[i])
+		visit(asns[i])
+		hops++
+		if hops > r.top.NumASes() {
+			panic("bgp: next-hop cycle")
+		}
+	}
+	return hops
+}
+
+// AppendIndexPath appends the dense AS indices of the path from dense
+// source index srcIdx to the origin (inclusive) to buf and returns it,
+// reporting whether the source is reachable. With a reused buf this is the
+// zero-alloc hot path the traffic matrix routes flows through.
+func (r *RIB) AppendIndexPath(buf []int32, srcIdx int) ([]int32, bool) {
+	if r.Type[srcIdx] == Unreachable {
+		return buf, false
+	}
+	i := srcIdx
+	base := len(buf)
+	buf = append(buf, int32(i))
+	for r.Type[i] != Origin {
+		i = int(r.NextHop[i])
+		buf = append(buf, int32(i))
+		if len(buf)-base > len(r.NextHop) {
+			panic("bgp: next-hop cycle")
+		}
+	}
+	return buf, true
 }
 
 // HopsFrom returns the AS-path length in hops (0 = src is the origin), or
@@ -237,27 +374,17 @@ type AllPaths struct {
 	ribs []*RIB // by dense origin index
 }
 
-// ComputeAll computes RIBs for every origin, in parallel.
+// ComputeAll computes RIBs for every origin, in parallel. Origins are
+// claimed with an atomic counter (parallel.ForEach) rather than a channel:
+// the per-origin work on small topologies is short enough that channel
+// sends were a measurable share of the sweep.
 func ComputeAll(top *topology.Topology) *AllPaths {
 	asns := top.ASNs()
+	top.LinkIndex() // build once before fan-out; lazy build is not thread-safe
 	ap := &AllPaths{top: top, ribs: make([]*RIB, len(asns))}
-	workers := runtime.GOMAXPROCS(0)
-	var wg sync.WaitGroup
-	ch := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range ch {
-				ap.ribs[i] = ComputeRIB(top, asns[i])
-			}
-		}()
-	}
-	for i := range asns {
-		ch <- i
-	}
-	close(ch)
-	wg.Wait()
+	parallel.ForEach(len(asns), 0, func(i int) {
+		ap.ribs[i] = ComputeRIB(top, asns[i])
+	})
 	return ap
 }
 

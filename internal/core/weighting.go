@@ -68,13 +68,24 @@ func BuildWeightingReport(top *topology.Topology, mx *traffic.Matrix) WeightingR
 		FracShortWeighted:   weighted.FracAtMost(1),
 	}
 
-	// AS importance: degree vs carried traffic.
-	var asns []topology.ASN
-	var deg, load []float64
-	for _, asn := range top.ASNs() {
+	// AS importance: degree vs carried traffic. Prefer the matrix's dense
+	// load views (indexed by the topology's dense AS/link index) over the
+	// map forms — no hashing in the scoring loops.
+	// dense is only valid if the matrix was built on this very topology
+	// (its link index is the one the dense slices are keyed by).
+	dense := mx.ASLoadDense != nil && mx.Links == top.LinkIndex()
+	all := top.ASNs()
+	asns := make([]topology.ASN, 0, len(all))
+	deg := make([]float64, 0, len(all))
+	load := make([]float64, 0, len(all))
+	for i, asn := range all {
 		asns = append(asns, asn)
 		deg = append(deg, float64(len(top.ASes[asn].Neighbors)))
-		load = append(load, mx.ASLoad[asn])
+		if dense {
+			load = append(load, mx.ASLoadDense[i])
+		} else {
+			load = append(load, mx.ASLoad[asn])
+		}
 	}
 	rep.ASImportance = rankContrast(asns, deg, load, func(a topology.ASN) string {
 		return fmt.Sprintf("%s(AS%d)", top.ASes[a].Name, a)
@@ -88,7 +99,13 @@ func BuildWeightingReport(top *topology.Topology, mx *traffic.Matrix) WeightingR
 	for i, l := range links {
 		linkIdx = append(linkIdx, topology.ASN(i))
 		uni = append(uni, 1)
-		lload = append(lload, mx.LinkLoad[topology.MakeLinkKey(l.A, l.B)])
+		if dense {
+			ia, _ := top.Index(l.A)
+			ib, _ := top.Index(l.B)
+			lload = append(lload, mx.LinkLoadDense[mx.Links.IDBetween(ia, ib)])
+		} else {
+			lload = append(lload, mx.LinkLoad[topology.MakeLinkKey(l.A, l.B)])
+		}
 		names[i] = fmt.Sprintf("%d-%d", l.A, l.B)
 	}
 	rep.LinkImportance = rankContrast(linkIdx, uni, lload, func(i topology.ASN) string {

@@ -49,6 +49,12 @@ type Env struct {
 	DiscoveryRounds int
 	// HitRateInterval is the Figure 2 probing cadence.
 	HitRateInterval simtime.Time
+	// MatrixWorkers bounds the goroutines building the ground-truth
+	// matrix (0 = one per CPU). The result is identical either way —
+	// the shard-and-merge build is deterministic across worker counts —
+	// so this only trades wall clock for CPU when experiments share a
+	// machine.
+	MatrixWorkers int
 }
 
 // NewEnv builds the world for an experiment run.
@@ -72,7 +78,7 @@ func (e *Env) Matrix() *traffic.Matrix {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.mx == nil {
-		e.mx = e.W.Traffic.BuildMatrix()
+		e.mx = e.W.Traffic.BuildMatrixWorkers(e.MatrixWorkers)
 	}
 	return e.mx
 }

@@ -1,0 +1,36 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 64} {
+		const n = 1000
+		var hits [n]int32
+		ForEach(n, workers, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d hit %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	ForEach(0, 4, func(int) { t.Fatal("fn called for n=0") })
+	ForEach(-5, 4, func(int) { t.Fatal("fn called for n<0") })
+}
+
+func TestWorkersClamps(t *testing.T) {
+	if w := Workers(8, 3); w != 3 {
+		t.Fatalf("Workers(8,3)=%d, want 3", w)
+	}
+	if w := Workers(-1, 1000); w < 1 {
+		t.Fatalf("Workers(-1,1000)=%d, want >=1", w)
+	}
+	if w := Workers(0, 0); w != 1 {
+		t.Fatalf("Workers(0,0)=%d, want 1", w)
+	}
+}

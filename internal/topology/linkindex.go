@@ -1,0 +1,100 @@
+package topology
+
+import "sort"
+
+// LinkIndex is the dense companion of the link-keyed maps: every undirected
+// adjacency gets a small integer ID, and the adjacency lists are laid out in
+// CSR form aligned with each AS's Neighbors slice. Hot paths (BGP
+// propagation, traffic-matrix routing) accumulate into []float64 indexed by
+// link ID instead of map[LinkKey]float64, and resolve neighbor dense AS
+// indices without a map lookup.
+type LinkIndex struct {
+	// off[i]..off[i+1] bounds AS i's row in nbr/link; rows are aligned
+	// with ASAt(i).Neighbors (both sorted by neighbor ASN, and dense AS
+	// index order equals ASN order).
+	off []int32
+	// nbr holds the dense AS index of each neighbor.
+	nbr []int32
+	// link holds the dense link ID of each adjacency; the two directed
+	// rows of one undirected link share an ID.
+	link []int32
+	// keys maps link ID back to the canonical map key.
+	keys []LinkKey
+}
+
+// buildLinkIndex assigns link IDs in ascending (Lo, Hi) dense order:
+// iterating ASes by dense index and neighbors by ASN, the lower endpoint
+// mints the ID and the upper endpoint finds it in the (already built) lower
+// row. Deterministic for a given topology.
+func buildLinkIndex(t *Topology) *LinkIndex {
+	n := t.NumASes()
+	asns := t.ASNs()
+	li := &LinkIndex{off: make([]int32, n+1)}
+	total := 0
+	for i := 0; i < n; i++ {
+		total += len(t.ASes[asns[i]].Neighbors)
+		li.off[i+1] = int32(total)
+	}
+	li.nbr = make([]int32, total)
+	li.link = make([]int32, total)
+	li.keys = make([]LinkKey, 0, total/2)
+	for i := 0; i < n; i++ {
+		a := t.ASes[asns[i]]
+		row := li.off[i]
+		for k, nb := range a.Neighbors {
+			j, ok := t.Index(nb.ASN)
+			if !ok {
+				panic("topology: neighbor outside topology")
+			}
+			li.nbr[row+int32(k)] = int32(j)
+			if i < j {
+				li.link[row+int32(k)] = int32(len(li.keys))
+				li.keys = append(li.keys, MakeLinkKey(asns[i], asns[j]))
+			} else {
+				id := li.idBetween(j, i)
+				if id < 0 {
+					panic("topology: asymmetric adjacency")
+				}
+				li.link[row+int32(k)] = id
+			}
+		}
+	}
+	return li
+}
+
+// LinkIndex returns the dense link index, building it on first use. Like
+// ASNs/Index it is invalidated by AddAS/AddLink; build it (by calling any
+// accessor) before sharing the topology across goroutines.
+func (t *Topology) LinkIndex() *LinkIndex {
+	if t.linkIdx == nil {
+		t.linkIdx = buildLinkIndex(t)
+	}
+	return t.linkIdx
+}
+
+// NumLinks returns the number of undirected links (IDs run [0, NumLinks)).
+func (li *LinkIndex) NumLinks() int { return len(li.keys) }
+
+// Key returns the canonical map key of a link ID.
+func (li *LinkIndex) Key(id int32) LinkKey { return li.keys[id] }
+
+// Row returns AS i's neighbor dense indices and link IDs, aligned with
+// ASAt(i).Neighbors. Callers must not modify the returned slices.
+func (li *LinkIndex) Row(i int) (nbrs, links []int32) {
+	lo, hi := li.off[i], li.off[i+1]
+	return li.nbr[lo:hi], li.link[lo:hi]
+}
+
+// IDBetween returns the link ID connecting dense AS indices i and j, or -1
+// if they are not adjacent. O(log deg(i)).
+func (li *LinkIndex) IDBetween(i, j int) int32 { return li.idBetween(i, j) }
+
+func (li *LinkIndex) idBetween(i, j int) int32 {
+	lo, hi := li.off[i], li.off[i+1]
+	row := li.nbr[lo:hi]
+	k := sort.Search(len(row), func(x int) bool { return row[x] >= int32(j) })
+	if k < len(row) && row[k] == int32(j) {
+		return li.link[lo+int32(k)]
+	}
+	return -1
+}

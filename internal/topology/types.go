@@ -273,8 +273,9 @@ type Topology struct {
 	// stages (e.g. off-net cache deployment) can extend address space.
 	Allocator *PrefixAllocator
 
-	asns []ASN // sorted, dense index
-	idx  map[ASN]int
+	asns    []ASN // sorted, dense index
+	idx     map[ASN]int
+	linkIdx *LinkIndex // dense link index; see linkindex.go
 }
 
 // AllocPrefixes allocates n fresh /24s, assigns them to owner, and places
@@ -314,11 +315,13 @@ func (t *Topology) AddAS(a *AS) {
 	}
 	t.ASes[a.ASN] = a
 	t.asns = nil // invalidate dense index
+	t.linkIdx = nil
 }
 
 // Freeze finalizes the dense AS index and sorts neighbor lists. Call after
 // all ASes and links are added and before running BGP.
 func (t *Topology) Freeze() {
+	t.linkIdx = nil // neighbor rows may re-sort below
 	t.asns = make([]ASN, 0, len(t.ASes))
 	for asn := range t.ASes {
 		t.asns = append(t.asns, asn)
@@ -375,6 +378,7 @@ func (t *Topology) AddLink(a, b ASN, rel Relationship, kind LinkKind, fac Facili
 	}
 	asA.Neighbors = append(asA.Neighbors, Neighbor{ASN: b, Rel: rel, Kind: kind, Facility: fac})
 	asB.Neighbors = append(asB.Neighbors, Neighbor{ASN: a, Rel: rel.Invert(), Kind: kind, Facility: fac})
+	t.linkIdx = nil // adjacency changed; dense link IDs must be re-minted
 }
 
 // HasLink reports whether a and b are directly connected.

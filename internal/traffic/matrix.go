@@ -3,6 +3,7 @@ package traffic
 import (
 	"sort"
 
+	"itmap/internal/parallel"
 	"itmap/internal/randx"
 	"itmap/internal/services"
 	"itmap/internal/topology"
@@ -39,7 +40,8 @@ type Matrix struct {
 	RefCDNByPrefix map[topology.PrefixID]float64
 	// RefCDNByAS aggregates the server log by client AS.
 	RefCDNByAS map[topology.ASN]float64
-	// Flows lists every aggregated flow.
+	// Flows lists every aggregated flow, ordered by ascending client ASN
+	// (the order the build visits client ASes).
 	Flows []Flow
 	// TailBytes is the volume to long-tail self-hosted destinations
 	// (counted in TotalBytes, PerOwner, ASLoad, LinkLoad but not
@@ -47,111 +49,277 @@ type Matrix struct {
 	TailBytes float64
 	// TotalBytes is the world's daily traffic volume.
 	TotalBytes float64
+
+	// ASLoadDense is ASLoad indexed by the topology's dense AS index,
+	// and LinkLoadDense is LinkLoad indexed by Links' dense link ID —
+	// the allocation-free views hot analyses should prefer over the
+	// map forms above.
+	ASLoadDense   []float64
+	LinkLoadDense []float64
+	// Links is the dense link index LinkLoadDense is keyed by.
+	Links *topology.LinkIndex
 }
 
-// BuildMatrix materializes the ground truth for one average day.
-func (m *Model) BuildMatrix() *Matrix {
-	top := m.Top
-	mx := &Matrix{
-		PerService:     make([]float64, len(m.Cat.Services)),
-		PerOwner:       map[topology.ASN]float64{},
-		ClientASBytes:  map[topology.ASN]float64{},
-		ASLoad:         map[topology.ASN]float64{},
-		LinkLoad:       map[topology.LinkKey]float64{},
-		RefCDNByPrefix: map[topology.PrefixID]float64{},
-		RefCDNByAS:     map[topology.ASN]float64{},
+// matrixShards is the number of client-AS shards the build fans out. It is
+// a fixed constant — NOT tied to GOMAXPROCS — so the shard boundaries and
+// the left-to-right merge order (and therefore every floating-point sum)
+// are identical no matter how many workers execute the shards.
+const matrixShards = 32
+
+// shardAcc is one shard's private accumulator: dense slices indexed by the
+// topology's AS/link indices, so the per-flow hot path touches no maps and
+// allocates nothing.
+type shardAcc struct {
+	perService     []float64
+	perOwner       []float64 // by dense AS index
+	clientASBytes  []float64 // by dense AS index
+	asLoad         []float64 // by dense AS index
+	refCDNByAS     []float64 // by dense AS index
+	linkLoad       []float64 // by dense link ID
+	refCDNByPrefix map[topology.PrefixID]float64
+	flows          []Flow
+	tailBytes      float64
+	totalBytes     float64
+	pathBuf        []int32 // reusable AppendIndexPath scratch
+}
+
+func newShardAcc(nSvc, nAS, nLink int) *shardAcc {
+	return &shardAcc{
+		perService:     make([]float64, nSvc),
+		perOwner:       make([]float64, nAS),
+		clientASBytes:  make([]float64, nAS),
+		asLoad:         make([]float64, nAS),
+		refCDNByAS:     make([]float64, nAS),
+		linkLoad:       make([]float64, nLink),
+		refCDNByPrefix: map[topology.PrefixID]float64{},
 	}
+}
+
+// mergeFrom folds src into dst. Called in ascending shard order, so the
+// summation order per cell is a fixed left fold over shards.
+func (dst *shardAcc) mergeFrom(src *shardAcc) {
+	addSlice(dst.perService, src.perService)
+	addSlice(dst.perOwner, src.perOwner)
+	addSlice(dst.clientASBytes, src.clientASBytes)
+	addSlice(dst.asLoad, src.asLoad)
+	addSlice(dst.refCDNByAS, src.refCDNByAS)
+	addSlice(dst.linkLoad, src.linkLoad)
+	for p, b := range src.refCDNByPrefix {
+		dst.refCDNByPrefix[p] += b
+	}
+	dst.tailBytes += src.tailBytes
+	dst.totalBytes += src.totalBytes
+}
+
+func addSlice(dst, src []float64) {
+	for i, v := range src {
+		dst[i] += v
+	}
+}
+
+// BuildMatrix materializes the ground truth for one average day, using one
+// worker per available CPU.
+func (m *Model) BuildMatrix() *Matrix { return m.BuildMatrixWorkers(0) }
+
+// BuildMatrixWorkers is BuildMatrix with an explicit worker count
+// (<= 0 means GOMAXPROCS). Client ASes are partitioned into matrixShards
+// contiguous dense-index ranges; workers claim shards, accumulate into
+// private dense partials, and the partials are merged in shard order — so
+// the result is byte-identical for a given seed regardless of worker count.
+func (m *Model) BuildMatrixWorkers(workers int) *Matrix {
+	top := m.Top
+	asns := top.ASNs()
+	li := top.LinkIndex() // built before fan-out; lazy build is not thread-safe
+	n := len(asns)
+	nSvc := len(m.Cat.Services)
+
 	// Tail destinations: every enterprise and academic AS self-hosts a
 	// little content.
 	var tailHosts []topology.ASN
 	tailHosts = append(tailHosts, top.ASesOfType(topology.Enterprise)...)
 	tailHosts = append(tailHosts, top.ASesOfType(topology.Academic)...)
 
-	for _, clientAS := range top.ASNs() {
-		a := top.ASes[clientAS]
-		if m.Users.ASUsers(clientAS) == 0 {
-			continue
-		}
-		for _, svc := range m.Cat.Services {
-			// Per-AS volume: sum of the pure per-prefix function.
-			bytes := 0.0
-			for _, p := range a.Prefixes {
-				b := m.DailyBytes(p, svc)
-				bytes += b
-				if svc.Owner == m.Cat.ReferenceCDN && b > 0 {
-					mx.RefCDNByPrefix[p] += b
-				}
+	// Hoist the owner-ASN → dense-index lookups out of the per-AS loop.
+	ownerIdx := make([]int32, nSvc)
+	for i, svc := range m.Cat.Services {
+		oi, _ := top.Index(svc.Owner)
+		ownerIdx[i] = int32(oi)
+	}
+
+	shards := matrixShards
+	if shards > n {
+		shards = n
+	}
+	accs := make([]*shardAcc, shards)
+	if shards > 0 {
+		per := (n + shards - 1) / shards
+		parallel.ForEach(shards, workers, func(s int) {
+			lo, hi := s*per, (s+1)*per
+			if hi > n {
+				hi = n
 			}
-			if bytes == 0 {
-				continue
+			acc := newShardAcc(nSvc, n, li.NumLinks())
+			for ci := lo; ci < hi; ci++ {
+				m.accumulateClientAS(acc, li, ci, asns[ci], ownerIdx, tailHosts)
 			}
-			if svc.Owner == m.Cat.ReferenceCDN {
-				mx.RefCDNByAS[clientAS] += bytes
-			}
-			mx.PerService[svc.ID] += bytes
-			mx.PerOwner[svc.Owner] += bytes
-			mx.ClientASBytes[clientAS] += bytes
-			mx.TotalBytes += bytes
-			for _, ss := range m.Assign(svc, clientAS) {
-				fb := bytes * ss.Share
-				if fb == 0 {
-					continue
-				}
-				hops := m.routeFlow(mx, clientAS, ss.Site.HostAS, fb)
-				mx.Flows = append(mx.Flows, Flow{
-					ClientAS: clientAS, Svc: svc.ID, Site: ss.Site,
-					Bytes: fb, Hops: hops,
-				})
-			}
+			accs[s] = acc
+		})
+	}
+
+	var total *shardAcc
+	if shards > 0 {
+		total = accs[0]
+		for s := 1; s < shards; s++ {
+			total.mergeFrom(accs[s])
 		}
-		// Long-tail demand to self-hosted destinations.
-		catBytes := mx.ClientASBytes[clientAS]
-		if catBytes == 0 || len(tailHosts) == 0 || m.TailShare <= 0 {
-			continue
+	} else {
+		total = newShardAcc(nSvc, 0, 0)
+	}
+
+	mx := &Matrix{
+		PerService:     total.perService,
+		PerOwner:       map[topology.ASN]float64{},
+		ClientASBytes:  map[topology.ASN]float64{},
+		ASLoad:         map[topology.ASN]float64{},
+		LinkLoad:       map[topology.LinkKey]float64{},
+		RefCDNByPrefix: total.refCDNByPrefix,
+		RefCDNByAS:     map[topology.ASN]float64{},
+		TailBytes:      total.tailBytes,
+		TotalBytes:     total.totalBytes,
+		ASLoadDense:    total.asLoad,
+		LinkLoadDense:  total.linkLoad,
+		Links:          li,
+	}
+	// Materialize the map views from the dense forms (zero cells stay
+	// absent, matching the serial build's sparse maps).
+	for i, asn := range asns {
+		if v := total.perOwner[i]; v != 0 {
+			mx.PerOwner[asn] = v
 		}
-		tailBytes := catBytes * m.TailShare / (1 - m.TailShare)
-		weights := make([]float64, m.TailFanout)
-		var wsum float64
-		for i := range weights {
-			weights[i] = randx.HashLognormal(0, 0.8, m.seed, 0x7a11, uint64(clientAS), uint64(i))
-			wsum += weights[i]
+		if v := total.clientASBytes[i]; v != 0 {
+			mx.ClientASBytes[asn] = v
 		}
-		for i := 0; i < m.TailFanout; i++ {
-			host := tailHosts[randx.Hash64(m.seed, 0x7a12, uint64(clientAS), uint64(i))%uint64(len(tailHosts))]
-			b := tailBytes * weights[i] / wsum
-			m.routeFlow(mx, clientAS, host, b)
-			mx.PerOwner[host] += b
-			mx.ClientASBytes[clientAS] += b
-			mx.TailBytes += b
-			mx.TotalBytes += b
+		if v := total.asLoad[i]; v != 0 {
+			mx.ASLoad[asn] = v
 		}
+		if v := total.refCDNByAS[i]; v != 0 {
+			mx.RefCDNByAS[asn] = v
+		}
+	}
+	for id, v := range total.linkLoad {
+		if v != 0 {
+			mx.LinkLoad[li.Key(int32(id))] = v
+		}
+	}
+	nFlows := 0
+	for _, acc := range accs {
+		nFlows += len(acc.flows)
+	}
+	mx.Flows = make([]Flow, 0, nFlows)
+	for _, acc := range accs {
+		mx.Flows = append(mx.Flows, acc.flows...)
 	}
 	return mx
 }
 
-// routeFlow adds a flow's bytes to the AS and link loads along its BGP path
-// and returns the hop count (-1 if unrouted).
-func (m *Model) routeFlow(mx *Matrix, from, to topology.ASN, bytes float64) int {
-	if from == to {
-		mx.ASLoad[from] += bytes
-		return 0
+// accumulateClientAS adds one client AS's demand — catalog services plus
+// the self-hosted long tail — into the shard accumulator. ci is the
+// client's dense index and clientAS == asns[ci].
+func (m *Model) accumulateClientAS(acc *shardAcc, li *topology.LinkIndex,
+	ci int, clientAS topology.ASN, ownerIdx []int32, tailHosts []topology.ASN) {
+	a := m.Top.ASes[clientAS]
+	if m.Users.ASUsers(clientAS) == 0 {
+		return
 	}
-	path := m.Paths.Path(from, to)
-	if path == nil {
-		return -1
-	}
-	for i, asn := range path {
-		mx.ASLoad[asn] += bytes
-		if i+1 < len(path) {
-			mx.LinkLoad[topology.MakeLinkKey(asn, path[i+1])] += bytes
+	for _, svc := range m.Cat.Services {
+		// Per-AS volume: sum of the pure per-prefix function.
+		bytes := 0.0
+		for _, p := range a.Prefixes {
+			b := m.DailyBytes(p, svc)
+			bytes += b
+			if svc.Owner == m.Cat.ReferenceCDN && b > 0 {
+				acc.refCDNByPrefix[p] += b
+			}
+		}
+		if bytes == 0 {
+			continue
+		}
+		if svc.Owner == m.Cat.ReferenceCDN {
+			acc.refCDNByAS[ci] += bytes
+		}
+		acc.perService[svc.ID] += bytes
+		acc.perOwner[ownerIdx[svc.ID]] += bytes
+		acc.clientASBytes[ci] += bytes
+		acc.totalBytes += bytes
+		for _, ss := range m.Assign(svc, clientAS) {
+			fb := bytes * ss.Share
+			if fb == 0 {
+				continue
+			}
+			hops := m.routeFlow(acc, li, ci, clientAS, ss.Site.HostAS, fb)
+			acc.flows = append(acc.flows, Flow{
+				ClientAS: clientAS, Svc: svc.ID, Site: ss.Site,
+				Bytes: fb, Hops: hops,
+			})
 		}
 	}
-	return len(path) - 1
+	// Long-tail demand to self-hosted destinations.
+	catBytes := acc.clientASBytes[ci]
+	if catBytes == 0 || len(tailHosts) == 0 || m.TailShare <= 0 {
+		return
+	}
+	tailBytes := catBytes * m.TailShare / (1 - m.TailShare)
+	weights := make([]float64, m.TailFanout)
+	var wsum float64
+	for i := range weights {
+		weights[i] = randx.HashLognormal(0, 0.8, m.seed, 0x7a11, uint64(clientAS), uint64(i))
+		wsum += weights[i]
+	}
+	for i := 0; i < m.TailFanout; i++ {
+		host := tailHosts[randx.Hash64(m.seed, 0x7a12, uint64(clientAS), uint64(i))%uint64(len(tailHosts))]
+		b := tailBytes * weights[i] / wsum
+		m.routeFlow(acc, li, ci, clientAS, host, b)
+		hostIdx, _ := m.Top.Index(host)
+		acc.perOwner[hostIdx] += b
+		acc.clientASBytes[ci] += b
+		acc.tailBytes += b
+		acc.totalBytes += b
+	}
+}
+
+// routeFlow adds a flow's bytes to the AS and link loads along its BGP
+// path and returns the hop count (-1 if unrouted). The path is streamed
+// from the RIB's NextHop array into a reusable dense-index buffer — no
+// per-flow allocation.
+func (m *Model) routeFlow(acc *shardAcc, li *topology.LinkIndex,
+	fromIdx int, from, to topology.ASN, bytes float64) int {
+	if from == to {
+		acc.asLoad[fromIdx] += bytes
+		return 0
+	}
+	rib := m.Paths.RIBFor(to)
+	if rib == nil {
+		return -1
+	}
+	buf, ok := rib.AppendIndexPath(acc.pathBuf[:0], fromIdx)
+	acc.pathBuf = buf
+	if !ok {
+		return -1
+	}
+	prev := int(buf[0])
+	acc.asLoad[prev] += bytes
+	for _, v := range buf[1:] {
+		i := int(v)
+		acc.asLoad[i] += bytes
+		acc.linkLoad[li.IDBetween(prev, i)] += bytes
+		prev = i
+	}
+	return len(buf) - 1
 }
 
 // TopOwners returns service owners by descending traffic share.
 func (mx *Matrix) TopOwners() []OwnerShare {
-	var out []OwnerShare
+	out := make([]OwnerShare, 0, len(mx.PerOwner))
 	for asn, b := range mx.PerOwner {
 		out = append(out, OwnerShare{ASN: asn, Bytes: b, Share: b / mx.TotalBytes})
 	}

@@ -1,0 +1,128 @@
+package traffic
+
+import (
+	"runtime"
+	"sort"
+	"testing"
+
+	"itmap/internal/topology"
+)
+
+// canonFlows returns a canonically sorted copy of a flow list so builds
+// can be compared independent of shard concatenation order.
+func canonFlows(fs []Flow) []Flow {
+	out := append([]Flow(nil), fs...)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.ClientAS != b.ClientAS {
+			return a.ClientAS < b.ClientAS
+		}
+		if a.Svc != b.Svc {
+			return a.Svc < b.Svc
+		}
+		if a.Site != b.Site {
+			return a.Site.Prefix < b.Site.Prefix
+		}
+		return a.Bytes < b.Bytes
+	})
+	return out
+}
+
+func sameASMap(t *testing.T, name string, a, b map[topology.ASN]float64) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: %d vs %d entries", name, len(a), len(b))
+	}
+	for k, va := range a {
+		if vb, ok := b[k]; !ok || va != vb {
+			t.Fatalf("%s[%v]: %v vs %v", name, k, va, vb)
+		}
+	}
+}
+
+// TestBuildMatrixDeterministicAcrossWorkers guards the shard-and-merge
+// pipeline: the matrix must be bit-identical whether it is built by one
+// worker or many (shard boundaries and merge order are fixed, so no
+// float is ever summed in a schedule-dependent order).
+func TestBuildMatrixDeterministicAcrossWorkers(t *testing.T) {
+	m := setup(t, 11)
+	serial := m.BuildMatrixWorkers(1)
+	wide := m.BuildMatrixWorkers(8)
+
+	// Also exercise the default (GOMAXPROCS-driven) entry point under a
+	// restricted scheduler, as a real single-core run would hit it.
+	old := runtime.GOMAXPROCS(1)
+	one := m.BuildMatrix()
+	runtime.GOMAXPROCS(old)
+
+	for _, mx := range []*Matrix{wide, one} {
+		if mx.TotalBytes != serial.TotalBytes {
+			t.Fatalf("TotalBytes differ: %v vs %v", mx.TotalBytes, serial.TotalBytes)
+		}
+		if mx.TailBytes != serial.TailBytes {
+			t.Fatalf("TailBytes differ: %v vs %v", mx.TailBytes, serial.TailBytes)
+		}
+		for i, v := range serial.PerService {
+			if mx.PerService[i] != v {
+				t.Fatalf("PerService[%d]: %v vs %v", i, mx.PerService[i], v)
+			}
+		}
+		sameASMap(t, "ASLoad", serial.ASLoad, mx.ASLoad)
+		sameASMap(t, "PerOwner", serial.PerOwner, mx.PerOwner)
+		sameASMap(t, "ClientASBytes", serial.ClientASBytes, mx.ClientASBytes)
+		sameASMap(t, "RefCDNByAS", serial.RefCDNByAS, mx.RefCDNByAS)
+		if len(serial.LinkLoad) != len(mx.LinkLoad) {
+			t.Fatalf("LinkLoad sizes: %d vs %d", len(serial.LinkLoad), len(mx.LinkLoad))
+		}
+		for k, v := range serial.LinkLoad {
+			if mx.LinkLoad[k] != v {
+				t.Fatalf("LinkLoad[%v]: %v vs %v", k, mx.LinkLoad[k], v)
+			}
+		}
+		fa, fb := canonFlows(serial.Flows), canonFlows(mx.Flows)
+		if len(fa) != len(fb) {
+			t.Fatalf("flow counts: %d vs %d", len(fa), len(fb))
+		}
+		for i := range fa {
+			if fa[i] != fb[i] {
+				t.Fatalf("flow %d differs: %+v vs %+v", i, fa[i], fb[i])
+			}
+		}
+	}
+}
+
+// TestMatrixDenseViewsMatchMaps checks the dense accumulators the build
+// exposes agree with the exported map views.
+func TestMatrixDenseViewsMatchMaps(t *testing.T) {
+	m := setup(t, 12)
+	mx := m.BuildMatrix()
+	asns := m.Top.ASNs()
+	for i, asn := range asns {
+		if mx.ASLoadDense[i] != mx.ASLoad[asn] {
+			t.Fatalf("ASLoadDense[%d]=%v, ASLoad[%v]=%v", i, mx.ASLoadDense[i], asn, mx.ASLoad[asn])
+		}
+	}
+	if mx.Links.NumLinks() != m.Top.NumLinks() {
+		t.Fatalf("link index has %d links, topology %d", mx.Links.NumLinks(), m.Top.NumLinks())
+	}
+	for id, v := range mx.LinkLoadDense {
+		if v != mx.LinkLoad[mx.Links.Key(int32(id))] {
+			t.Fatalf("LinkLoadDense[%d]=%v, map=%v", id, v, mx.LinkLoad[mx.Links.Key(int32(id))])
+		}
+	}
+}
+
+// TestCumulativeTopShareOverflowK: k beyond the owner count must clamp to
+// the full share, not panic or extrapolate.
+func TestCumulativeTopShareOverflowK(t *testing.T) {
+	m := setup(t, 13)
+	mx := m.BuildMatrix()
+	all := mx.CumulativeTopShare(len(mx.PerOwner))
+	over := mx.CumulativeTopShare(len(mx.PerOwner) + 1000)
+	if over != all {
+		t.Fatalf("overflow k changed the share: %v vs %v", over, all)
+	}
+	if over < 0.999 || over > 1.001 {
+		t.Fatalf("total share %v, want ~1 (tail + catalog cover everything)", over)
+	}
+}

@@ -11,6 +11,7 @@ package traffic
 
 import (
 	"math"
+	"sync"
 
 	"itmap/internal/bgp"
 	"itmap/internal/dnssim"
@@ -61,6 +62,9 @@ type Model struct {
 	// Chromium user generates daily.
 	ChromiumProbesPerUserDay float64
 
+	// assignMemo caches assignments under memoMu: the matrix build
+	// queries it from many goroutines at once.
+	memoMu     sync.RWMutex
 	assignMemo map[assignKey][]SiteShare
 }
 
@@ -241,14 +245,21 @@ type SiteShare struct {
 }
 
 // Assign returns where clients in clientAS are actually served for a
-// service, with volume shares. Memoized; deterministic.
+// service, with volume shares. Memoized; deterministic; safe for
+// concurrent use (assign is pure, so racing goroutines compute — and
+// cache — the same value).
 func (m *Model) Assign(svc *services.Service, clientAS topology.ASN) []SiteShare {
 	key := assignKey{svc.ID, clientAS}
-	if got, ok := m.assignMemo[key]; ok {
+	m.memoMu.RLock()
+	got, ok := m.assignMemo[key]
+	m.memoMu.RUnlock()
+	if ok {
 		return got
 	}
 	out := m.assign(svc, clientAS)
+	m.memoMu.Lock()
 	m.assignMemo[key] = out
+	m.memoMu.Unlock()
 	return out
 }
 
