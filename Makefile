@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench experiments experiments-md csv examples clean
+.PHONY: all build vet test race cover bench experiments experiments-md csv examples clean
 
 all: build vet test
 
@@ -17,6 +17,18 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Coverage gate for the fault-injection and resilience layers: the rest of
+# the repo is exercised end-to-end by the experiments, but these two
+# packages are the safety net for every measurement client, so they carry
+# an explicit floor.
+COVER_FLOOR ?= 85
+cover:
+	$(GO) test -coverprofile=cover.out ./internal/faults/ ./internal/resilience/
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "faults+resilience coverage: $$total% (floor $(COVER_FLOOR)%)"; \
+	awk "BEGIN {exit !($$total >= $(COVER_FLOOR))}" || \
+		{ echo "coverage $$total% below floor $(COVER_FLOOR)%"; exit 1; }
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -37,4 +49,4 @@ examples:
 	@for d in examples/*/; do echo "== $$d"; $(GO) run ./$$d | head -20; echo; done
 
 clean:
-	rm -rf figures/ test_output.txt bench_output.txt
+	rm -rf figures/ test_output.txt bench_output.txt cover.out

@@ -269,6 +269,14 @@ func BenchmarkE23BotFiltering(b *testing.B) {
 	}
 }
 
+func BenchmarkE24FaultResilience(b *testing.B) {
+	s := sharedSession(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		requirePass(b, s.RunE24())
+	}
+}
+
 // --- Campaign and substrate benchmarks -------------------------------------
 
 func BenchmarkWorldBuildSmall(b *testing.B) {

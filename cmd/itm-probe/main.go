@@ -7,6 +7,7 @@
 // Usage:
 //
 //	itm-probe [-scale tiny|small] [-seed N] [-domain D] [-n N]
+//	          [-faults none|calm|lossy|hostile] [-budget B]
 package main
 
 import (
@@ -16,9 +17,12 @@ import (
 	"net/netip"
 	"os"
 	"sort"
+	"time"
 
 	"itmap"
 	"itmap/internal/dnssim"
+	"itmap/internal/faults"
+	"itmap/internal/resilience"
 	"itmap/internal/simtime"
 	"itmap/internal/topology"
 )
@@ -28,15 +32,17 @@ func main() {
 	seed := flag.Int64("seed", 1, "world seed")
 	domain := flag.String("domain", "", "domain to probe (default: most popular ECS service)")
 	n := flag.Int("n", 12, "how many prefixes to probe")
+	profile := flag.String("faults", "none", "fault profile on the resolver: none, calm, lossy, hostile")
+	budget := flag.Int("budget", 4, "attempts per probe before giving up")
 	flag.Parse()
 
-	if err := run(*scale, *seed, *domain, *n); err != nil {
+	if err := run(*scale, *seed, *domain, *n, *profile, *budget); err != nil {
 		fmt.Fprintln(os.Stderr, "itm-probe:", err)
 		os.Exit(1)
 	}
 }
 
-func run(scale string, seed int64, domain string, n int) error {
+func run(scale string, seed int64, domain string, n int, profile string, budget int) error {
 	var cfg itm.Config
 	switch scale {
 	case "tiny":
@@ -50,6 +56,11 @@ func run(scale string, seed int64, domain string, n int) error {
 	if domain == "" {
 		domain = inet.Cat.ECSDomains()[0]
 	}
+	prof, ok := faults.ByName(profile)
+	if !ok {
+		return fmt.Errorf("unknown fault profile %q", profile)
+	}
+	inet.PR.SetFaultPlan(faults.NewPlan(prof, seed))
 
 	// Serve PoP 0 on loopback.
 	fe := &dnssim.WireFrontend{PR: inet.PR, Auth: inet.Auth, PoP: 0}
@@ -66,6 +77,22 @@ func run(scale string, seed int64, domain string, n int) error {
 		return err
 	}
 	defer client.Close()
+	// A read deadline turns fault-plan drops into faults.ErrTimeout
+	// instead of a hung exchange; the retryer then re-sends (each retry is
+	// a fresh datagram with a fresh ID, re-rolling per-packet faults).
+	client.Timeout = 250 * time.Millisecond
+	retry := resilience.Retryer{
+		Budget: budget,
+		Backoff: resilience.Backoff{
+			Base:   simtime.Minute,
+			Factor: 2,
+			Jitter: 0.3,
+			Seed:   uint64(seed),
+		},
+		Retryable: faults.IsTransient,
+	}
+	// 1 simulated minute of backoff ≈ 60ms of wall clock.
+	const perHour = 0.001
 
 	// Probe a mix of prefixes homed at PoP 0: busy eyeballs, small
 	// offices, and infrastructure.
@@ -89,20 +116,41 @@ func run(scale string, seed int64, domain string, n int) error {
 		picks = append(picks, candidates[i*len(candidates)/n])
 	}
 
-	fmt.Printf("probing %q with RD=0 ECS queries:\n", domain)
-	fmt.Printf("%-20s %12s %8s\n", "PREFIX", "USERS", "CACHED")
+	fmt.Printf("probing %q with RD=0 ECS queries (faults=%s, budget=%d):\n", domain, prof.Name, budget)
+	fmt.Printf("%-20s %12s %8s %9s\n", "PREFIX", "USERS", "CACHED", "ATTEMPTS")
+	retries := 0
 	for _, p := range picks {
 		netPrefix := netip.PrefixFrom(p.Addr(0), 24)
-		hit, err := client.Probe(domain, netPrefix)
+		var hit bool
+		attempts, err := retry.DoSleep(uint64(p), perHour, func(int) error {
+			var perr error
+			hit, perr = client.Probe(domain, netPrefix)
+			return perr
+		})
+		retries += attempts - 1
 		if err != nil {
+			if faults.IsTransient(err) {
+				return fmt.Errorf("probe %s: retry budget of %d spent: %w", p, budget, err)
+			}
 			return err
 		}
-		fmt.Printf("%-20s %12.0f %8v\n", p, inet.Users.UsersIn(p), hit)
+		fmt.Printf("%-20s %12.0f %8v %9d\n", p, inet.Users.UsersIn(p), hit, attempts)
+	}
+	if retries > 0 {
+		fmt.Printf("(%d datagrams re-sent after transient faults)\n", retries)
 	}
 
 	// One recursive lookup for contrast.
-	addrs, err := client.Resolve(domain, netip.PrefixFrom(picks[0].Addr(0), 24))
+	var addrs []netip.Addr
+	_, err = retry.DoSleep(uint64(picks[0]), perHour, func(int) error {
+		var rerr error
+		addrs, rerr = client.Resolve(domain, netip.PrefixFrom(picks[0].Addr(0), 24))
+		return rerr
+	})
 	if err != nil {
+		if faults.IsTransient(err) {
+			return fmt.Errorf("resolve %s: retry budget of %d spent: %w", domain, budget, err)
+		}
 		return err
 	}
 	fmt.Printf("recursive answer for %s from %v: %v\n", domain, picks[0], addrs)

@@ -24,6 +24,38 @@ const (
 	FromRootLogs
 )
 
+// Coverage grades the freshness of a prefix's activity signal when the
+// sweep behind it ran against a faulty substrate.
+type Coverage uint8
+
+// Coverage grades. The zero value means the builder had no sweep stats —
+// the pre-fault behaviour — so fault-free maps carry no annotations.
+const (
+	// CoverageUnknown: no resilient sweep ran; nothing to grade.
+	CoverageUnknown Coverage = iota
+	// CoverageProbedOK: the sweep got a definitive answer this window.
+	CoverageProbedOK
+	// CoverageGaveUp: every probe died on the retry budget; the cell's
+	// signal is absence-of-evidence, not evidence-of-absence.
+	CoverageGaveUp
+	// CoverageStale: the PoP's breaker kept the target unprobed; any
+	// value shown is carried over, not measured.
+	CoverageStale
+)
+
+// String names the grade for reports.
+func (c Coverage) String() string {
+	switch c {
+	case CoverageProbedOK:
+		return "probed-ok"
+	case CoverageGaveUp:
+		return "gave-up"
+	case CoverageStale:
+		return "stale"
+	}
+	return "unknown"
+}
+
 // UsersComponent answers the map's first question: where are users, and
 // what are their relative activity levels?
 type UsersComponent struct {
@@ -37,6 +69,13 @@ type UsersComponent struct {
 	ASActivity map[topology.ASN]float64
 	// Sources says which techniques contributed per AS.
 	Sources map[topology.ASN]ActivitySource
+	// Coverage grades each swept prefix's signal (empty without sweep
+	// stats — the map degrades gracefully instead of silently).
+	Coverage map[topology.PrefixID]Coverage
+	// ASConfidence is the fraction of an AS's swept prefixes that were
+	// probed-ok (1 everywhere on a clean substrate; only ASes with swept
+	// prefixes appear).
+	ASConfidence map[topology.ASN]float64
 }
 
 // MappingKey indexes the user→host mapping component.
@@ -93,6 +132,10 @@ type BuildInputs struct {
 	// Discovery and HitRates come from cache probing.
 	Discovery *cacheprobe.Discovery
 	HitRates  *cacheprobe.HitRates
+	// Sweep carries the resilient prober's per-target bookkeeping; when
+	// set, the builder annotates coverage and per-AS confidence. Nil (the
+	// naive prober) leaves the map exactly as before.
+	Sweep *cacheprobe.SweepStats
 	// RootCrawl comes from root-log crawling.
 	RootCrawl *rootlogs.Crawl
 	// PublicResolverOwner is excluded from resolver-based attribution.
@@ -122,6 +165,8 @@ func BuildMap(in BuildInputs) *TrafficMap {
 			PrefixHitRate:  map[topology.PrefixID]float64{},
 			ASActivity:     map[topology.ASN]float64{},
 			Sources:        map[topology.ASN]ActivitySource{},
+			Coverage:       map[topology.PrefixID]Coverage{},
+			ASConfidence:   map[topology.ASN]float64{},
 		},
 		Services: ServicesComponent{
 			Scan:    in.Scan,
@@ -151,6 +196,35 @@ func BuildMap(in BuildInputs) *TrafficMap {
 					m.Users.Sources[asn] |= FromCacheProbe
 				}
 			}
+		}
+	}
+
+	// --- Users: coverage annotations -----------------------------------
+	// A sweep that fought a faulty substrate grades every cell it touched;
+	// downstream consumers can weight or discard gave-up/stale cells.
+	if in.Sweep != nil {
+		asOK := map[topology.ASN]float64{}
+		asN := map[topology.ASN]float64{}
+		for p, o := range in.Sweep.Outcome {
+			var c Coverage
+			switch o {
+			case cacheprobe.TargetProbedOK:
+				c = CoverageProbedOK
+			case cacheprobe.TargetGaveUp:
+				c = CoverageGaveUp
+			default:
+				c = CoverageStale
+			}
+			m.Users.Coverage[p] = c
+			if asn, ok := in.Top.OwnerOf(p); ok {
+				asN[asn]++
+				if c == CoverageProbedOK {
+					asOK[asn]++
+				}
+			}
+		}
+		for asn, n := range asN {
+			m.Users.ASConfidence[asn] = asOK[asn] / n
 		}
 	}
 
@@ -223,6 +297,16 @@ func (m *TrafficMap) ActiveASes() []topology.ASN {
 		out = append(out, asn)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// CoverageSummary counts graded prefixes per coverage class. An empty map
+// means the map was built without sweep stats.
+func (m *TrafficMap) CoverageSummary() map[Coverage]int {
+	out := map[Coverage]int{}
+	for _, c := range m.Users.Coverage {
+		out[c]++
+	}
 	return out
 }
 

@@ -22,6 +22,11 @@ type MapDocument struct {
 	PrefixHitRates map[string]float64 `json:"prefix_hit_rates,omitempty"`
 	ASActivity     map[string]float64 `json:"as_activity"`
 	Sources        map[string]string  `json:"sources"`
+	// Coverage/ASConfidence only appear for maps built from a resilient
+	// sweep's stats — fault-free documents stay byte-identical to v1
+	// exports thanks to omitempty.
+	Coverage     map[string]string  `json:"coverage,omitempty"`
+	ASConfidence map[string]float64 `json:"as_confidence,omitempty"`
 	// Services component.
 	Servers  []ServerDocument  `json:"servers"`
 	Mappings []MappingDocument `json:"mappings"`
@@ -73,6 +78,18 @@ func (m *TrafficMap) Export(w io.Writer) error {
 	for asn, src := range m.Users.Sources {
 		doc.Sources[fmt.Sprintf("%d", asn)] = sourceString(src)
 	}
+	if len(m.Users.Coverage) > 0 {
+		doc.Coverage = map[string]string{}
+		for p, c := range m.Users.Coverage {
+			doc.Coverage[p.String()] = c.String()
+		}
+	}
+	if len(m.Users.ASConfidence) > 0 {
+		doc.ASConfidence = map[string]float64{}
+		for asn, v := range m.Users.ASConfidence {
+			doc.ASConfidence[fmt.Sprintf("%d", asn)] = v
+		}
+	}
 	if m.Services.Scan != nil {
 		for _, s := range m.Services.Scan.Servers {
 			doc.Servers = append(doc.Servers, ServerDocument{
@@ -120,6 +137,19 @@ func sourceString(s ActivitySource) string {
 	}
 }
 
+func coverageFromString(s string) Coverage {
+	switch s {
+	case "probed-ok":
+		return CoverageProbedOK
+	case "gave-up":
+		return CoverageGaveUp
+	case "stale":
+		return CoverageStale
+	default:
+		return CoverageUnknown
+	}
+}
+
 func sourceFromString(s string) ActivitySource {
 	switch s {
 	case "cache-probe":
@@ -153,6 +183,8 @@ func ImportUsers(doc *MapDocument) (UsersComponent, error) {
 		PrefixHitRate:  map[topology.PrefixID]float64{},
 		ASActivity:     map[topology.ASN]float64{},
 		Sources:        map[topology.ASN]ActivitySource{},
+		Coverage:       map[topology.PrefixID]Coverage{},
+		ASConfidence:   map[topology.ASN]float64{},
 	}
 	for _, s := range doc.ActivePrefixes {
 		p, err := parsePrefix(s)
@@ -181,6 +213,20 @@ func ImportUsers(doc *MapDocument) (UsersComponent, error) {
 			return uc, fmt.Errorf("core: bad ASN %q: %w", s, err)
 		}
 		uc.Sources[topology.ASN(asn)] = sourceFromString(src)
+	}
+	for s, cov := range doc.Coverage {
+		p, err := parsePrefix(s)
+		if err != nil {
+			return uc, err
+		}
+		uc.Coverage[p] = coverageFromString(cov)
+	}
+	for s, v := range doc.ASConfidence {
+		var asn uint32
+		if _, err := fmt.Sscanf(s, "%d", &asn); err != nil {
+			return uc, fmt.Errorf("core: bad ASN %q: %w", s, err)
+		}
+		uc.ASConfidence[topology.ASN(asn)] = v
 	}
 	return uc, nil
 }

@@ -22,6 +22,7 @@ import (
 	"sort"
 	"sync"
 
+	"itmap/internal/faults"
 	"itmap/internal/geo"
 	"itmap/internal/randx"
 	"itmap/internal/services"
@@ -47,10 +48,11 @@ type RateSource interface {
 
 // PublicResolver models the public DNS service ("GPDNS" in comments).
 type PublicResolver struct {
-	top   *topology.Topology
-	cat   *services.Catalog
-	rates RateSource
-	seed  uint64
+	top    *topology.Topology
+	cat    *services.Catalog
+	rates  RateSource
+	seed   uint64
+	faults *faults.Plan
 
 	// Owner is the hypergiant operating the resolver; root-log entries
 	// for its egress queries attribute to this AS.
@@ -108,6 +110,14 @@ func NewPublicResolver(top *topology.Topology, cat *services.Catalog, owner topo
 // SetRateSource wires in the demand model. Must be called before probing.
 func (pr *PublicResolver) SetRateSource(rs RateSource) { pr.rates = rs }
 
+// SetFaultPlan wires a fault-injection schedule into the probe-facing
+// surfaces. A nil plan (the default) restores fault-free behaviour exactly.
+// Like SetRateSource, call it between campaigns, not during one.
+func (pr *PublicResolver) SetFaultPlan(pl *faults.Plan) { pr.faults = pl }
+
+// FaultPlan returns the active fault schedule (possibly nil).
+func (pr *PublicResolver) FaultPlan() *faults.Plan { return pr.faults }
+
 // Catalog returns the service catalog the resolver serves (public
 // knowledge: every record's TTL is visible in responses).
 func (pr *PublicResolver) Catalog() *services.Catalog { return pr.cat }
@@ -155,11 +165,41 @@ func (pr *PublicResolver) AdoptionShare(countryCode string) float64 {
 // collapses to the whole PoP and per-prefix attribution is impossible —
 // exactly the limitation the paper notes.
 func (pr *PublicResolver) ProbeCache(popID int, domain string, ecs topology.PrefixID, t simtime.Time) (bool, error) {
+	return pr.ProbeCacheOpts(popID, domain, ecs, t, ProbeOpts{})
+}
+
+// ProbeOpts identifies one probe to the fault layer.
+type ProbeOpts struct {
+	// Source is the probing host's identity — per-source throttling keys
+	// on it, so campaigns with more probers spread the ban risk.
+	Source uint64
+	// Attempt numbers retries of the same logical probe; each attempt is
+	// a fresh datagram and re-rolls per-packet faults.
+	Attempt int
+}
+
+// ProbeCacheOpts is ProbeCache with an explicit probe identity. With a fault
+// plan set it can return the typed transient errors faults.ErrTimeout,
+// faults.ErrServfail, and faults.ErrThrottled instead of answering.
+func (pr *PublicResolver) ProbeCacheOpts(popID int, domain string, ecs topology.PrefixID, t simtime.Time, opt ProbeOpts) (bool, error) {
 	if pr.rates == nil {
 		return false, fmt.Errorf("dnssim: no rate source wired")
 	}
 	if popID < 0 || popID >= len(pr.PoPs) {
 		return false, fmt.Errorf("dnssim: unknown PoP %d", popID)
+	}
+	if err := pr.faults.ProbeFault(popID, opt.Source, probeKey(domain, ecs), opt.Attempt, t); err != nil {
+		return false, err
+	}
+	return pr.cacheLookup(popID, domain, ecs, t)
+}
+
+// cacheLookup is the fault-free cache-occupancy check. The wire front end
+// calls it directly: it evaluates faults itself, with per-datagram entropy,
+// before consulting the cache.
+func (pr *PublicResolver) cacheLookup(popID int, domain string, ecs topology.PrefixID, t simtime.Time) (bool, error) {
+	if pr.rates == nil {
+		return false, fmt.Errorf("dnssim: no rate source wired")
 	}
 	svc, ok := pr.cat.ByDomain(domain)
 	if !ok {
@@ -189,6 +229,11 @@ func ResolverOfAS(top *topology.Topology, asn topology.ASN) (topology.PrefixID, 
 		return 0, false
 	}
 	return a.Prefixes[0], true
+}
+
+// probeKey identifies a (domain, target) pair to the fault layer.
+func probeKey(domain string, ecs topology.PrefixID) uint64 {
+	return randx.Hash64(hashString(domain), uint64(ecs))
 }
 
 func hashString(s string) uint64 {

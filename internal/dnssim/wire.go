@@ -2,11 +2,15 @@ package dnssim
 
 import (
 	"errors"
+	"fmt"
 	"net"
 	"net/netip"
 	"sync"
+	"time"
 
 	"itmap/internal/dnswire"
+	"itmap/internal/faults"
+	"itmap/internal/randx"
 	"itmap/internal/simtime"
 	"itmap/internal/topology"
 )
@@ -21,20 +25,51 @@ type WireFrontend struct {
 	Auth *Authoritative
 	// PoP is the front end's point of presence.
 	PoP int
+	// Source identifies the querying host to the fault layer (per-source
+	// throttling); the demo front end serves one prober, so one id.
+	Source uint64
 }
 
 // Handle processes one query packet and returns the response packet.
 // Malformed queries yield a nil response (dropped), like real servers
-// ignoring garbage.
+// ignoring garbage — except a parseable question with a malformed EDNS0
+// option, which is answered FORMERR so the prober can tell a codec bug
+// from packet loss. With a fault plan set on the resolver, packets can
+// also be dropped (nil), refused (throttled source), or answered SERVFAIL.
 func (fe *WireFrontend) Handle(query []byte, t simtime.Time) []byte {
 	q, err := dnswire.Decode(query)
-	if err != nil || q.QR {
+	if err != nil {
+		if q != nil && !q.QR && errors.Is(err, dnswire.ErrBadOption) {
+			return mustEncode(&dnswire.Message{
+				ID: q.ID, QR: true, RD: q.RD, RA: true,
+				Rcode: dnswire.RcodeFormErr,
+				QName: q.QName, QType: q.QType, QClass: q.QClass,
+			})
+		}
+		return nil
+	}
+	if q.QR {
 		return nil
 	}
 	resp := &dnswire.Message{
 		ID: q.ID, QR: true, RD: q.RD, RA: true,
 		QName: q.QName, QType: q.QType, QClass: q.QClass,
 		ECS: q.ECS,
+	}
+	if pl := fe.PR.FaultPlan(); pl.Enabled() {
+		// The query ID is the retry entropy: a retried probe is a new
+		// datagram with a new ID and re-rolls per-packet faults.
+		key := randx.Hash64(hashString(q.QName), uint64(q.ID))
+		switch ferr := pl.ProbeFault(fe.PoP, fe.Source, key, 0, t); {
+		case errors.Is(ferr, faults.ErrTimeout):
+			return nil // dropped on the floor; the client's deadline fires
+		case errors.Is(ferr, faults.ErrThrottled):
+			resp.Rcode = dnswire.RcodeRefused
+			return mustEncode(resp)
+		case errors.Is(ferr, faults.ErrServfail):
+			resp.Rcode = dnswire.RcodeServfail
+			return mustEncode(resp)
+		}
 	}
 	svc, known := fe.PR.cat.ByDomain(q.QName)
 	if !known {
@@ -59,7 +94,7 @@ func (fe *WireFrontend) Handle(query []byte, t simtime.Time) []byte {
 			resp.Rcode = dnswire.RcodeRefused
 			return mustEncode(resp)
 		}
-		hit, err := fe.PR.ProbeCache(fe.PoP, q.QName, ecsPrefix, t)
+		hit, err := fe.PR.cacheLookup(fe.PoP, q.QName, ecsPrefix, t)
 		if err != nil {
 			resp.Rcode = dnswire.RcodeRefused
 			return mustEncode(resp)
@@ -144,6 +179,11 @@ type WireClient struct {
 	mu   sync.Mutex
 	conn net.Conn
 	id   uint16
+
+	// Timeout bounds each round trip; a dropped datagram surfaces as
+	// faults.ErrTimeout instead of blocking the exchange forever.
+	// Zero means no deadline (the pre-fault-layer behaviour).
+	Timeout time.Duration
 }
 
 // DialWireClient connects to a resolver front end.
@@ -158,6 +198,20 @@ func DialWireClient(addr string) (*WireClient, error) {
 // Close releases the client socket.
 func (c *WireClient) Close() error { return c.conn.Close() }
 
+// rcodeError maps response codes onto the typed transient errors so wire
+// clients can classify retryability the same way simulated probers do.
+func rcodeError(context string, rcode uint8) error {
+	switch rcode {
+	case dnswire.RcodeServfail:
+		return fmt.Errorf("dnssim: %s: %w", context, faults.ErrServfail)
+	case dnswire.RcodeRefused:
+		// Public resolvers refuse banned sources; retry after backoff.
+		return fmt.Errorf("dnssim: %s: %w", context, faults.ErrThrottled)
+	default:
+		return fmt.Errorf("dnssim: %s: rcode %d", context, rcode)
+	}
+}
+
 // Probe sends an RD=0 ECS query and reports whether the record was cached.
 func (c *WireClient) Probe(domain string, prefix netip.Prefix) (bool, error) {
 	resp, err := c.roundTrip(dnswire.NewQuery(c.nextID(), domain, false).WithECS(prefix))
@@ -165,7 +219,7 @@ func (c *WireClient) Probe(domain string, prefix netip.Prefix) (bool, error) {
 		return false, err
 	}
 	if resp.Rcode != dnswire.RcodeNoError {
-		return false, errors.New("dnssim: probe refused: rcode " + string('0'+resp.Rcode))
+		return false, rcodeError("probe refused", resp.Rcode)
 	}
 	return len(resp.Answers) > 0, nil
 }
@@ -177,7 +231,7 @@ func (c *WireClient) Resolve(domain string, prefix netip.Prefix) ([]netip.Addr, 
 		return nil, err
 	}
 	if resp.Rcode != dnswire.RcodeNoError {
-		return nil, errors.New("dnssim: resolution failed: rcode " + string('0'+resp.Rcode))
+		return nil, rcodeError("resolution failed", resp.Rcode)
 	}
 	return resp.Answers, nil
 }
@@ -196,12 +250,22 @@ func (c *WireClient) roundTrip(q *dnswire.Message) (*dnswire.Message, error) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.Timeout > 0 {
+		if err := c.conn.SetDeadline(time.Now().Add(c.Timeout)); err != nil {
+			return nil, err
+		}
+	}
 	if _, err := c.conn.Write(raw); err != nil {
 		return nil, err
 	}
 	buf := make([]byte, 4096)
 	n, err := c.conn.Read(buf)
 	if err != nil {
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			// The datagram (or its answer) was dropped.
+			return nil, fmt.Errorf("dnssim: read: %w", faults.ErrTimeout)
+		}
 		return nil, err
 	}
 	resp, err := dnswire.Decode(buf[:n])

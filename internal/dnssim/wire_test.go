@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"itmap/internal/dnswire"
+	"itmap/internal/faults"
 	"itmap/internal/simtime"
 	"itmap/internal/topology"
 )
@@ -167,5 +168,94 @@ func TestWireOverUDP(t *testing.T) {
 	conn.Close()
 	if err := <-done; err != nil {
 		t.Fatalf("server exited with %v", err)
+	}
+}
+
+// rawOptQuery appends an OPT record with the given rdata to an encoded
+// query and bumps ARCOUNT (mirrors the dnswire fuzz corpus helper).
+func rawOptQuery(base, rdata []byte) []byte {
+	out := append([]byte(nil), base...)
+	out[11]++ // ARCOUNT low byte (tests never exceed 255 additionals)
+	out = append(out, 0)
+	out = append(out, 0, 41, 0x10, 0, 0, 0, 0, 0)
+	out = append(out, byte(len(rdata)>>8), byte(len(rdata)))
+	return append(out, rdata...)
+}
+
+func TestWireMalformedECSAnsweredFormErr(t *testing.T) {
+	_, fe, _ := wireSetup(t, 5)
+	domain := ecsSvc(t, fe)
+	base, _ := dnswire.NewQuery(91, domain, false).Encode()
+	// Truncated ECS option: question parses, option does not.
+	raw := rawOptQuery(base, []byte{0, 8, 0, 10, 0, 1})
+	resp, err := dnswire.Decode(fe.Handle(raw, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Rcode != dnswire.RcodeFormErr {
+		t.Fatalf("malformed option rcode %d, want FORMERR", resp.Rcode)
+	}
+	if resp.ID != 91 || !resp.QR || resp.QName != domain {
+		t.Fatalf("FORMERR response header wrong: %+v", resp)
+	}
+	// A malformed *response* stays dropped — FORMERR only answers queries.
+	respBytes := rawOptQuery(func() []byte {
+		m := &dnswire.Message{ID: 92, QR: true, QName: domain, QType: dnswire.TypeA, QClass: dnswire.ClassIN}
+		b, _ := m.Encode()
+		return b
+	}(), []byte{0, 8, 0, 10, 0, 1})
+	if fe.Handle(respBytes, 1) != nil {
+		t.Error("malformed response packet got a reply")
+	}
+}
+
+func TestWireFaultPlanPaths(t *testing.T) {
+	top, fe, cr := wireSetup(t, 6)
+	domain := ecsSvc(t, fe)
+	p := prefixHomedAt(t, top, fe)
+	cr.rates[domain] = map[topology.PrefixID]float64{p: 1e9}
+	q := dnswire.NewQuery(31, domain, false).WithECS(netip.PrefixFrom(p.Addr(0), 24))
+	raw, _ := q.Encode()
+
+	// Sweep query IDs under a lossy plan: the per-datagram fault roll must
+	// produce drops, and surviving answers must include SERVFAILs.
+	fe.PR.SetFaultPlan(faults.NewPlan(faults.Hostile(), 7))
+	defer fe.PR.SetFaultPlan(nil)
+	drops, servfails, refused, answered := 0, 0, 0, 0
+	for id := uint16(1); id <= 200; id++ {
+		q := dnswire.NewQuery(id, domain, false).WithECS(netip.PrefixFrom(p.Addr(0), 24))
+		raw, _ := q.Encode()
+		respBytes := fe.Handle(raw, simtime.Time(float64(id)*0.1))
+		if respBytes == nil {
+			drops++
+			continue
+		}
+		resp, err := dnswire.Decode(respBytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch resp.Rcode {
+		case dnswire.RcodeServfail:
+			servfails++
+		case dnswire.RcodeRefused:
+			refused++
+		default:
+			answered++
+		}
+	}
+	if drops == 0 || servfails == 0 || answered == 0 {
+		t.Fatalf("hostile plan: drops=%d servfails=%d refused=%d answered=%d",
+			drops, servfails, refused, answered)
+	}
+
+	// Clearing the plan restores byte-identical fault-free answers.
+	fe.PR.SetFaultPlan(nil)
+	clean := fe.Handle(raw, 1)
+	if clean == nil {
+		t.Fatal("fault-free probe dropped")
+	}
+	resp, err := dnswire.Decode(clean)
+	if err != nil || resp.Rcode != dnswire.RcodeNoError {
+		t.Fatalf("fault-free probe: %v rcode %d", err, resp.Rcode)
 	}
 }

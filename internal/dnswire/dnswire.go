@@ -34,6 +34,8 @@ const (
 // Response codes.
 const (
 	RcodeNoError  uint8 = 0
+	RcodeFormErr  uint8 = 1
+	RcodeServfail uint8 = 2
 	RcodeNXDomain uint8 = 3
 	RcodeRefused  uint8 = 5
 )
@@ -271,7 +273,11 @@ func Decode(b []byte) (*Message, error) {
 		if typ == TypeOPT {
 			ecs, err := parseECS(b[off : off+rdlen])
 			if err != nil {
-				return nil, err
+				// The question section already parsed, so return the
+				// partial message alongside the error: servers answer
+				// FORMERR to a malformed option rather than dropping
+				// the query silently.
+				return m, err
 			}
 			m.ECS = ecs
 		}

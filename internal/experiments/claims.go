@@ -479,5 +479,6 @@ func (e *Env) RunAll() []*Result {
 		e.RunE21(),
 		e.RunE22(),
 		e.RunE23(),
+		e.RunE24(),
 	}
 }

@@ -11,18 +11,26 @@ import (
 	"sort"
 
 	"itmap/internal/dnssim"
+	"itmap/internal/faults"
 	"itmap/internal/simtime"
 	"itmap/internal/topology"
 )
 
 func mathLog(x float64) float64 { return math.Log(x) }
 
-// Prober drives cache-probing campaigns.
+// Prober drives cache-probing campaigns. This is the naive client: with a
+// fault plan active on the resolver, a probe that times out, is throttled,
+// or draws a SERVFAIL is simply wasted — the prober neither retries nor
+// reschedules, so its coverage degrades with the substrate. ResilientProber
+// is the hardened variant.
 type Prober struct {
 	PR *dnssim.PublicResolver
 	// Domains are the popular ECS-supporting domains to probe
 	// (catalog.ECSDomains()); non-ECS domains cannot be localized.
 	Domains []string
+	// Source identifies the probing host to the fault layer. The naive
+	// prober hammers from one source, so per-source bans hit everything.
+	Source uint64
 }
 
 // Discovery is the result of a prefix-discovery sweep (Figure 1a/1b input).
@@ -35,6 +43,9 @@ type Discovery struct {
 	ByPoP map[int]int
 	// Probes is the total probe count issued.
 	Probes int
+	// Failed counts probes lost to transient faults (always 0 without a
+	// fault plan).
+	Failed int
 }
 
 // DiscoverPrefixes sweeps all given prefixes: for each prefix it probes the
@@ -59,8 +70,13 @@ func (pb *Prober) DiscoverPrefixes(top *topology.Topology, prefixes []topology.P
 		for _, dom := range pb.Domains {
 			for r := 0; r < rounds; r++ {
 				at := start + simtime.Time(24*float64(r)/float64(rounds))
-				hit, err := pb.PR.ProbeCache(pop.ID, dom, p, at)
+				hit, err := pb.PR.ProbeCacheOpts(pop.ID, dom, p, at, dnssim.ProbeOpts{Source: pb.Source})
 				if err != nil {
+					if faults.IsTransient(err) {
+						d.Probes++
+						d.Failed++
+						continue
+					}
 					return nil, err
 				}
 				d.Probes++
@@ -106,6 +122,10 @@ func (d *Discovery) PoPCounts(pr *dnssim.PublicResolver) []PoPCount {
 type HitRates struct {
 	// ByPrefix is hits/probes per prefix.
 	ByPrefix map[topology.PrefixID]float64
+	// Failed counts probes lost to transient faults; the naive campaign
+	// keeps the full probe count in each denominator, so faults bias its
+	// hit rates downward.
+	Failed int
 	// ByAS is the total cache-hit count per AS over the campaign (the
 	// paper "recorded cache hit counts by AS"): it grows both with how
 	// often each prefix's entry is cached and with how much address
@@ -156,8 +176,12 @@ func (pb *Prober) MeasureHitRates(top *topology.Topology, prefixes []topology.Pr
 		hits := 0
 		for r := 0; r < probesPer; r++ {
 			at := start + simtime.Time(float64(r))*interval
-			hit, err := pb.PR.ProbeCache(pop.ID, domain, p, at)
+			hit, err := pb.PR.ProbeCacheOpts(pop.ID, domain, p, at, dnssim.ProbeOpts{Source: pb.Source})
 			if err != nil {
+				if faults.IsTransient(err) {
+					hr.Failed++
+					continue
+				}
 				return nil, err
 			}
 			if hit {

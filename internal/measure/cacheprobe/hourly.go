@@ -1,6 +1,8 @@
 package cacheprobe
 
 import (
+	"itmap/internal/dnssim"
+	"itmap/internal/faults"
 	"itmap/internal/simtime"
 	"itmap/internal/topology"
 )
@@ -14,6 +16,10 @@ type HourlyProfile struct {
 	Hits [24]float64
 	// Probes[h] counts probes issued during UTC hour h.
 	Probes [24]int
+	// Failed counts probes lost to transient faults; failures stay in
+	// the per-hour denominators, biasing the naive curve downward in
+	// hours where the substrate misbehaved.
+	Failed int
 }
 
 // MeasureHourlyProfile probes the domain for every given prefix (typically
@@ -30,11 +36,16 @@ func (pb *Prober) MeasureHourlyProfile(top *topology.Topology, prefixes []topolo
 			continue
 		}
 		for at := start; at < start+24; at += interval {
-			hit, err := pb.PR.ProbeCache(pop.ID, domain, p, at)
+			hit, err := pb.PR.ProbeCacheOpts(pop.ID, domain, p, at, dnssim.ProbeOpts{Source: pb.Source})
+			h := int(at.UTCHour())
 			if err != nil {
+				if faults.IsTransient(err) {
+					hp.Probes[h]++
+					hp.Failed++
+					continue
+				}
 				return nil, err
 			}
-			h := int(at.UTCHour())
 			hp.Probes[h]++
 			if hit {
 				hp.Hits[h]++

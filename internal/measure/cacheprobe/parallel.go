@@ -69,6 +69,7 @@ func (pb *Prober) DiscoverPrefixesParallel(top *topology.Topology, prefixes []to
 			out.ByPoP[pop] += c
 		}
 		out.Probes += s.d.Probes
+		out.Failed += s.d.Failed
 	}
 	return out, nil
 }
@@ -113,6 +114,7 @@ func (pb *Prober) MeasureHitRatesParallel(top *topology.Topology, prefixes []top
 			return nil, s.err
 		}
 		out.ProbesPerPrefix = s.hr.ProbesPerPrefix
+		out.Failed += s.hr.Failed
 		for p, v := range s.hr.ByPrefix {
 			out.ByPrefix[p] = v
 		}

@@ -1,0 +1,406 @@
+package cacheprobe
+
+import (
+	"errors"
+
+	"itmap/internal/dnssim"
+	"itmap/internal/faults"
+	"itmap/internal/parallel"
+	"itmap/internal/resilience"
+	"itmap/internal/simtime"
+	"itmap/internal/topology"
+)
+
+// ResilientProber is the hardened cache-probing client: every probe is
+// retried with capped exponential backoff (re-rolling per-packet faults and
+// sliding out of ban windows and outages), each PoP sits behind a circuit
+// breaker so a dead PoP stops burning probes, a token-bucket pacer keeps
+// each source under its schedule.Campaign.QPSPerProber budget, and the
+// target set is split across Shards independent sources so one ban never
+// stalls the whole campaign.
+//
+// Determinism contract: sweep results are a pure function of (world, fault
+// plan, prober config, Shards) — worker goroutines only change wall-clock
+// time, never outcomes — because shard boundaries are fixed by Shards, all
+// mutable state (pacer, breakers, clocks) is per-shard, and shard results
+// merge in shard order.
+type ResilientProber struct {
+	PR *dnssim.PublicResolver
+	// Domains to probe, as for Prober.
+	Domains []string
+	// Retry is the per-probe retry policy. Zero value: 1 attempt, no
+	// retries — like the naive prober but with bookkeeping.
+	Retry resilience.Retryer
+	// Breaker configures the per-PoP circuit breakers.
+	Breaker resilience.BreakerConfig
+	// QPS is each source's token-bucket budget in queries per simulated
+	// second (schedule.Campaign.QPSPerProber). 0 disables pacing.
+	QPS float64
+	// Burst is the pacer burst size (default 10).
+	Burst int
+	// Shards is the number of independent probing sources (default 16).
+	// It is part of the campaign's identity: changing it changes probe
+	// timing and therefore outcomes; worker counts never do.
+	Shards int
+	// BaseSource is the fault-layer identity of shard 0; shard s probes
+	// as BaseSource+s.
+	BaseSource uint64
+	// Workers bounds the goroutines driving shards (0 = one per CPU).
+	Workers int
+}
+
+// TargetOutcome classifies how a sweep left one target prefix.
+type TargetOutcome uint8
+
+const (
+	// TargetProbedOK: at least one probe got a definitive answer (hit or
+	// clean miss) — fresh data.
+	TargetProbedOK TargetOutcome = iota
+	// TargetGaveUp: every probe exhausted its retry budget; no
+	// definitive answer this sweep.
+	TargetGaveUp
+	// TargetSkipped: the PoP's breaker was open at every opportunity;
+	// the target was never probed and any prior knowledge is stale.
+	TargetSkipped
+)
+
+// String names the outcome for reports.
+func (o TargetOutcome) String() string {
+	switch o {
+	case TargetProbedOK:
+		return "probed-ok"
+	case TargetGaveUp:
+		return "gave-up"
+	case TargetSkipped:
+		return "skipped"
+	}
+	return "unknown"
+}
+
+// SweepStats is the resilient sweep's bookkeeping: what the campaign spent
+// and where it had to give up. The map keys are exactly the targets the
+// sweep could attribute to a PoP.
+type SweepStats struct {
+	// Probes counts datagrams actually sent (first attempts + retries).
+	Probes int
+	// Retries counts second-and-later attempts.
+	Retries int
+	// GiveUps counts targets classified TargetGaveUp.
+	GiveUps int
+	// Skips counts probe opportunities dropped because a breaker was open.
+	Skips int
+	// BreakerOpens counts breaker open transitions across all shards.
+	BreakerOpens int
+	// Outcome classifies every target.
+	Outcome map[topology.PrefixID]TargetOutcome
+	// Attempts records datagrams spent per target.
+	Attempts map[topology.PrefixID]int
+}
+
+func newSweepStats() *SweepStats {
+	return &SweepStats{
+		Outcome:  map[topology.PrefixID]TargetOutcome{},
+		Attempts: map[topology.PrefixID]int{},
+	}
+}
+
+func (s *SweepStats) merge(o *SweepStats) {
+	s.Probes += o.Probes
+	s.Retries += o.Retries
+	s.GiveUps += o.GiveUps
+	s.Skips += o.Skips
+	s.BreakerOpens += o.BreakerOpens
+	for p, v := range o.Outcome {
+		s.Outcome[p] = v
+	}
+	for p, v := range o.Attempts {
+		s.Attempts[p] = v
+	}
+}
+
+func (rp *ResilientProber) shards() int {
+	if rp.Shards < 1 {
+		return 16
+	}
+	return rp.Shards
+}
+
+// shardState is one probing source's mutable world.
+type shardState struct {
+	source   uint64
+	pacer    *resilience.Pacer
+	breakers map[int]*resilience.Breaker
+}
+
+func (rp *ResilientProber) newShard(i int) *shardState {
+	burst := rp.Burst
+	if burst < 1 {
+		burst = 10
+	}
+	return &shardState{
+		source:   rp.BaseSource + uint64(i),
+		pacer:    resilience.NewPacer(rp.QPS, burst),
+		breakers: map[int]*resilience.Breaker{},
+	}
+}
+
+func (ss *shardState) breaker(pop int, cfg resilience.BreakerConfig) *resilience.Breaker {
+	b := ss.breakers[pop]
+	if b == nil {
+		b = resilience.NewBreaker(cfg)
+		ss.breakers[pop] = b
+	}
+	return b
+}
+
+// probe issues one logical probe with retries. Returns (hit, definitive,
+// datagrams): definitive is false when the retry budget died without an
+// answer; datagrams counts packets actually sent (breaker-skipped attempts
+// send nothing). The first attempt fires when the pacer grants it (the
+// pacer is monotone, so a backlogged source slips later and later);
+// retries then advance through backoff, sliding out of ban windows and
+// outages. One target's retries never delay another target — a real
+// prober multiplexes its outstanding probes.
+func (rp *ResilientProber) probe(ss *shardState, st *SweepStats, pop int, dom string, p topology.PrefixID, sched simtime.Time) (bool, bool, int) {
+	br := ss.breaker(pop, rp.Breaker)
+	var hit bool
+	sent := 0
+	key := uint64(p)
+	out := rp.Retry.Do(ss.pacer.Next(sched), key, func(attempt int, at simtime.Time) error {
+		if !br.Allow(at) {
+			st.Skips++
+			return faults.ErrTimeout // counts as failure, but no datagram
+		}
+		st.Probes++
+		sent++
+		if sent > 1 {
+			st.Retries++
+		}
+		h, err := rp.PR.ProbeCacheOpts(pop, dom, p, at, dnssim.ProbeOpts{Source: ss.source, Attempt: attempt})
+		// Only timeouts feed the breaker: silence is the dead-PoP signal.
+		// A throttle is the source's problem (backoff handles it) and a
+		// SERVFAIL is a per-query flake; tripping the PoP breaker on
+		// either turns one banned source into a shard-wide skip storm.
+		br.Record(at, !errors.Is(err, faults.ErrTimeout))
+		if err != nil {
+			return err
+		}
+		hit = h
+		return nil
+	})
+	if out.Err != nil {
+		return false, false, sent
+	}
+	return hit, true, sent
+}
+
+// DiscoverPrefixes is the resilient DiscoverPrefixes: same discovery
+// semantics (a prefix is found on its first cache hit), plus retry,
+// breaker, and pacing behaviour, and a SweepStats ledger classifying every
+// target as probed-ok, gave-up, or skipped.
+func (rp *ResilientProber) DiscoverPrefixes(top *topology.Topology, prefixes []topology.PrefixID, start simtime.Time, rounds int) (*Discovery, *SweepStats, error) {
+	if rounds < 1 {
+		rounds = 1
+	}
+	retryable := rp.Retry.Retryable
+	if retryable == nil {
+		rp.Retry.Retryable = faults.IsTransient
+	}
+	n := rp.shards()
+	type shardResult struct {
+		d  *Discovery
+		st *SweepStats
+	}
+	results := make([]shardResult, n)
+	chunk := (len(prefixes) + n - 1) / n
+	parallel.ForEach(n, rp.Workers, func(i int) {
+		lo := i * chunk
+		hi := min(lo+chunk, len(prefixes))
+		if lo >= hi {
+			return
+		}
+		ss := rp.newShard(i)
+		d := &Discovery{
+			Found:     map[topology.PrefixID]bool{},
+			FoundASes: map[topology.ASN]bool{},
+			ByPoP:     map[int]int{},
+		}
+		st := newSweepStats()
+		for _, p := range prefixes[lo:hi] {
+			pop := rp.PR.HomePoP(p)
+			if pop == nil {
+				continue
+			}
+			definitive := 0
+			attempts := 0
+		domains:
+			for _, dom := range rp.Domains {
+				for r := 0; r < rounds; r++ {
+					sched := start + simtime.Time(24*float64(r)/float64(rounds))
+					hit, ok, att := rp.probe(ss, st, pop.ID, dom, p, sched)
+					attempts += att
+					if !ok {
+						continue
+					}
+					definitive++
+					d.Probes++
+					if hit {
+						d.Found[p] = true
+						if asn, ok := top.OwnerOf(p); ok {
+							d.FoundASes[asn] = true
+						}
+						break domains
+					}
+				}
+			}
+			st.Attempts[p] = attempts
+			switch {
+			case definitive > 0:
+				st.Outcome[p] = TargetProbedOK
+			case attempts > 0:
+				st.Outcome[p] = TargetGaveUp
+				st.GiveUps++
+			default:
+				st.Outcome[p] = TargetSkipped
+			}
+			if d.Found[p] {
+				d.ByPoP[pop.ID]++
+			}
+		}
+		for _, b := range ss.breakers {
+			st.BreakerOpens += b.Opens
+		}
+		results[i] = shardResult{d, st}
+	})
+	rp.Retry.Retryable = retryable
+
+	out := &Discovery{
+		Found:     map[topology.PrefixID]bool{},
+		FoundASes: map[topology.ASN]bool{},
+		ByPoP:     map[int]int{},
+	}
+	stats := newSweepStats()
+	for _, r := range results {
+		if r.d == nil {
+			continue
+		}
+		for p := range r.d.Found {
+			out.Found[p] = true
+		}
+		for asn := range r.d.FoundASes {
+			out.FoundASes[asn] = true
+		}
+		for pop, c := range r.d.ByPoP {
+			out.ByPoP[pop] += c
+		}
+		out.Probes += r.d.Probes
+		stats.merge(r.st)
+	}
+	// Keep naive-Discovery units: Probes counts datagrams issued, Failed
+	// the ones faults ate. Shards accumulated definitive answers in
+	// d.Probes; the ledger has the datagram truth.
+	answered := out.Probes
+	out.Probes = stats.Probes
+	out.Failed = stats.Probes - answered
+	return out, stats, nil
+}
+
+// MeasureHitRates is the resilient hit-rate campaign: each probe slot is
+// retried to a definitive answer or budget exhaustion, and — unlike the
+// naive campaign, which keeps failures in its denominators — the rate uses
+// answered probes only, so faults cost precision, not bias.
+func (rp *ResilientProber) MeasureHitRates(top *topology.Topology, prefixes []topology.PrefixID, domain string, start simtime.Time, interval simtime.Time) (*HitRates, *SweepStats, error) {
+	if interval <= 0 {
+		interval = 5 * simtime.Minute
+	}
+	retryable := rp.Retry.Retryable
+	if retryable == nil {
+		rp.Retry.Retryable = faults.IsTransient
+	}
+	probesPer := int(24 / float64(interval))
+	n := rp.shards()
+	type shardResult struct {
+		hr *HitRates
+		st *SweepStats
+	}
+	results := make([]shardResult, n)
+	chunk := (len(prefixes) + n - 1) / n
+	parallel.ForEach(n, rp.Workers, func(i int) {
+		lo := i * chunk
+		hi := min(lo+chunk, len(prefixes))
+		if lo >= hi {
+			return
+		}
+		ss := rp.newShard(i)
+		hr := &HitRates{
+			ByPrefix:        map[topology.PrefixID]float64{},
+			ByAS:            map[topology.ASN]float64{},
+			ProbesPerPrefix: probesPer,
+		}
+		st := newSweepStats()
+		for _, p := range prefixes[lo:hi] {
+			pop := rp.PR.HomePoP(p)
+			if pop == nil {
+				continue
+			}
+			hits, answered, attempts := 0, 0, 0
+			for r := 0; r < probesPer; r++ {
+				sched := start + simtime.Time(float64(r))*interval
+				hit, ok, att := rp.probe(ss, st, pop.ID, domain, p, sched)
+				attempts += att
+				if !ok {
+					continue
+				}
+				answered++
+				if hit {
+					hits++
+				}
+			}
+			st.Attempts[p] = attempts
+			switch {
+			case answered > 0:
+				st.Outcome[p] = TargetProbedOK
+			case attempts > 0:
+				st.Outcome[p] = TargetGaveUp
+				st.GiveUps++
+			default:
+				st.Outcome[p] = TargetSkipped
+			}
+			if answered > 0 {
+				hr.ByPrefix[p] = float64(hits) / float64(answered)
+			} else {
+				hr.ByPrefix[p] = 0
+			}
+			hr.Failed += attempts - answered
+			if asn, ok := top.OwnerOf(p); ok {
+				hr.ByAS[asn] += float64(hits)
+			}
+		}
+		for _, b := range ss.breakers {
+			st.BreakerOpens += b.Opens
+		}
+		results[i] = shardResult{hr, st}
+	})
+	rp.Retry.Retryable = retryable
+
+	out := &HitRates{
+		ByPrefix:        map[topology.PrefixID]float64{},
+		ByAS:            map[topology.ASN]float64{},
+		ProbesPerPrefix: probesPer,
+	}
+	stats := newSweepStats()
+	for _, r := range results {
+		if r.hr == nil {
+			continue
+		}
+		out.Failed += r.hr.Failed
+		for p, v := range r.hr.ByPrefix {
+			out.ByPrefix[p] = v
+		}
+		for asn, v := range r.hr.ByAS {
+			out.ByAS[asn] += v
+		}
+		stats.merge(r.st)
+	}
+	return out, stats, nil
+}

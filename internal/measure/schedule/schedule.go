@@ -26,6 +26,13 @@ type Campaign struct {
 	// WindowHours is the refresh window the sweep must fit in (Table 1's
 	// temporal precision: 24 for daily, 1 for hourly).
 	WindowHours float64
+	// LossRate is the expected transient-failure probability per probe
+	// (timeouts, SERVFAILs, throttles). A lossy substrate forces retries,
+	// inflating the probe budget; zero means the pre-fault planner.
+	LossRate float64
+	// RetryBudget is the maximum attempts per target including the first
+	// (default 1: no retries, lost probes stay lost).
+	RetryBudget int
 }
 
 // Plan is the planner's verdict.
@@ -33,6 +40,12 @@ type Plan struct {
 	TotalProbes int
 	SweepHours  float64
 	Feasible    bool
+	// InflationFactor is the expected attempts per logical probe once
+	// retries against the loss rate are accounted for (1 with no loss).
+	InflationFactor float64
+	// EffectiveProbes is TotalProbes scaled by the inflation factor — the
+	// datagram count the rate limiter actually sees.
+	EffectiveProbes int
 	// UtilizedQPS is the aggregate probing rate used.
 	UtilizedQPS float64
 	// MaxTargetsInWindow is the largest target count that would fit.
@@ -55,9 +68,28 @@ func (c Campaign) Validate() error {
 		return fmt.Errorf("schedule: probers must be positive, got %d", c.Probers)
 	case c.WindowHours <= 0:
 		return fmt.Errorf("schedule: window must be positive, got %f", c.WindowHours)
+	case c.LossRate < 0 || c.LossRate >= 1:
+		return fmt.Errorf("schedule: loss rate must be in [0,1), got %f", c.LossRate)
+	case c.RetryBudget < 0:
+		return fmt.Errorf("schedule: retry budget must be non-negative, got %d", c.RetryBudget)
 	default:
 		return nil
 	}
+}
+
+// Inflation returns the expected attempts per logical probe: with
+// per-attempt loss p and a budget of B attempts, a prober stops at the
+// first success, so E[attempts] = Σ_{k=0}^{B−1} p^k = (1−p^B)/(1−p).
+// Zero loss (or a budget of 1) yields exactly 1 — the pre-fault planner.
+func (c Campaign) Inflation() float64 {
+	b := c.RetryBudget
+	if b < 1 {
+		b = 1
+	}
+	if c.LossRate <= 0 || b == 1 {
+		return 1
+	}
+	return (1 - math.Pow(c.LossRate, float64(b))) / (1 - c.LossRate)
 }
 
 // Fit plans the campaign.
@@ -67,11 +99,14 @@ func (c Campaign) Fit() (Plan, error) {
 	}
 	var p Plan
 	p.TotalProbes = c.Targets * c.Rounds
+	p.InflationFactor = c.Inflation()
+	eff := float64(p.TotalProbes) * p.InflationFactor
+	p.EffectiveProbes = int(math.Ceil(eff))
 	p.UtilizedQPS = c.QPSPerProber * float64(c.Probers)
-	p.SweepHours = float64(p.TotalProbes) / p.UtilizedQPS / 3600
+	p.SweepHours = eff / p.UtilizedQPS / 3600
 	p.Feasible = p.SweepHours <= c.WindowHours
-	p.MaxTargetsInWindow = int(c.WindowHours * 3600 * p.UtilizedQPS / float64(c.Rounds))
-	p.ProbersNeeded = int(math.Ceil(float64(p.TotalProbes) / (c.WindowHours * 3600 * c.QPSPerProber)))
+	p.MaxTargetsInWindow = int(c.WindowHours * 3600 * p.UtilizedQPS / (float64(c.Rounds) * p.InflationFactor))
+	p.ProbersNeeded = int(math.Ceil(eff / (c.WindowHours * 3600 * c.QPSPerProber)))
 	return p, nil
 }
 

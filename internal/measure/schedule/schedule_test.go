@@ -136,3 +136,74 @@ func TestFitProperties(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestInflationFactor(t *testing.T) {
+	cases := []struct {
+		name   string
+		loss   float64
+		budget int
+		want   float64
+	}{
+		{"no loss", 0, 5, 1},
+		{"no retries", 0.3, 1, 1},
+		{"zero budget means one attempt", 0.3, 0, 1},
+		{"mild loss", 0.1, 3, 1 + 0.1 + 0.01},
+		{"hostile loss", 0.3, 4, 1 + 0.3 + 0.09 + 0.027},
+		{"deep budget approaches 1/(1-p)", 0.5, 30, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := Campaign{
+				Targets: 1000, Rounds: 2, QPSPerProber: 10, Probers: 2,
+				WindowHours: 24, LossRate: tc.loss, RetryBudget: tc.budget,
+			}
+			if got := c.Inflation(); math.Abs(got-tc.want) > 1e-6 {
+				t.Fatalf("Inflation() = %f, want %f", got, tc.want)
+			}
+			p, err := c.Fit()
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantEff := int(math.Ceil(float64(p.TotalProbes) * tc.want))
+			if p.EffectiveProbes != wantEff {
+				t.Fatalf("EffectiveProbes = %d, want %d", p.EffectiveProbes, wantEff)
+			}
+			// The clean planner must be untouched by the zero value.
+			if tc.loss == 0 || tc.budget <= 1 {
+				clean := c
+				clean.LossRate, clean.RetryBudget = 0, 0
+				pc, err := clean.Fit()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if p != pc {
+					t.Fatalf("zero-loss plan diverged: %+v vs %+v", p, pc)
+				}
+			}
+		})
+	}
+}
+
+func TestInflationScalesFeasibility(t *testing.T) {
+	// A campaign near its window edge tips infeasible once loss-driven
+	// retries inflate the budget.
+	c := Campaign{Targets: 160_000, Rounds: 1, QPSPerProber: 1, Probers: 2, WindowHours: 24}
+	p, err := c.Fit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Feasible {
+		t.Fatalf("clean campaign should fit (%.2f h)", p.SweepHours)
+	}
+	c.LossRate, c.RetryBudget = 0.3, 5
+	p2, err := c.Fit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Feasible {
+		t.Fatalf("inflated campaign should not fit (%.2f h, factor %.3f)", p2.SweepHours, p2.InflationFactor)
+	}
+	if p2.ProbersNeeded <= c.Probers {
+		t.Fatalf("ProbersNeeded %d not above current %d", p2.ProbersNeeded, c.Probers)
+	}
+}

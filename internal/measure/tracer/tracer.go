@@ -48,9 +48,15 @@ func ReverseTraceroute(ap *bgp.AllPaths, src, dst topology.ASN) []topology.ASN {
 	return ap.Path(dst, src)
 }
 
-// LinksOnPath adds the path's adjacencies to the set.
+// LinksOnPath adds the path's adjacencies to the set. Pairs touching a
+// Hole (a hop suppressed by ICMP rate limiting) are unobservable and
+// skipped; fault-free paths never contain holes, so their harvest is
+// unchanged.
 func LinksOnPath(links map[topology.LinkKey]bool, path []topology.ASN) {
 	for i := 0; i+1 < len(path); i++ {
+		if path[i] == Hole || path[i+1] == Hole {
+			continue
+		}
 		links[topology.MakeLinkKey(path[i], path[i+1])] = true
 	}
 }

@@ -1,0 +1,75 @@
+package resilience
+
+import "itmap/internal/simtime"
+
+// BreakerConfig parameterizes a circuit breaker.
+type BreakerConfig struct {
+	// FailThreshold is the consecutive-failure count that opens the
+	// breaker (default 5).
+	FailThreshold int
+	// Cooldown is how long an open breaker rejects before allowing a
+	// half-open trial probe (default 30 simulated minutes).
+	Cooldown simtime.Time
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailThreshold < 1 {
+		c.FailThreshold = 5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 30 * simtime.Minute
+	}
+	return c
+}
+
+// Breaker is a circuit breaker over simulated time, one per dependency
+// (e.g. per resolver PoP). Closed: requests flow. Open: requests are
+// rejected until Cooldown elapses. Half-open: one trial flows; success
+// closes the breaker, failure re-opens it. Not safe for concurrent use —
+// sweeps keep one breaker set per shard.
+type Breaker struct {
+	cfg         BreakerConfig
+	consecFails int
+	open        bool
+	openSince   simtime.Time
+	// Opens counts transitions to open, for sweep stats.
+	Opens int
+}
+
+// NewBreaker returns a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults()}
+}
+
+// Allow reports whether a request may proceed at t. An open breaker allows
+// exactly the half-open trial once the cooldown has elapsed.
+func (b *Breaker) Allow(t simtime.Time) bool {
+	if !b.open {
+		return true
+	}
+	return t >= b.openSince+b.cfg.Cooldown
+}
+
+// Record feeds the outcome of an allowed request back at time t.
+func (b *Breaker) Record(t simtime.Time, ok bool) {
+	if ok {
+		b.open = false
+		b.consecFails = 0
+		return
+	}
+	if b.open {
+		// Failed half-open trial: restart the cooldown.
+		b.openSince = t
+		b.Opens++
+		return
+	}
+	b.consecFails++
+	if b.consecFails >= b.cfg.FailThreshold {
+		b.open = true
+		b.openSince = t
+		b.Opens++
+	}
+}
+
+// OpenAt reports whether the breaker is open and still cooling down at t.
+func (b *Breaker) OpenAt(t simtime.Time) bool { return b.open && !b.Allow(t) }
