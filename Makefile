@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench experiments experiments-md csv examples clean
+.PHONY: all build vet lint test race cover bench experiments experiments-md csv examples clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
@@ -12,21 +12,28 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Project-specific determinism & safety analyzers (internal/analysis).
+# Exit 0 clean, 1 on any diagnostic, 2 on load failure.
+lint:
+	$(GO) run ./cmd/itm-lint ./...
+
 test:
-	$(GO) test ./...
+	$(GO) test -vet=all ./...
 
 race:
 	$(GO) test -race ./...
 
-# Coverage gate for the fault-injection and resilience layers: the rest of
-# the repo is exercised end-to-end by the experiments, but these two
-# packages are the safety net for every measurement client, so they carry
-# an explicit floor.
+# Coverage gate for the fault-injection, resilience, and analyzer layers:
+# the rest of the repo is exercised end-to-end by the experiments, but these
+# packages are the safety net for every measurement client (and for the
+# determinism contract itself), so they carry an explicit floor.
+COVER_PKGS = ./internal/faults/ ./internal/resilience/ ./internal/analysis/
 COVER_FLOOR ?= 85
 cover:
-	$(GO) test -coverprofile=cover.out ./internal/faults/ ./internal/resilience/
-	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
-	echo "faults+resilience coverage: $$total% (floor $(COVER_FLOOR)%)"; \
+	$(GO) test -cover $(COVER_PKGS)
+	@$(GO) test -coverprofile=cover.out $(COVER_PKGS) >/dev/null; \
+	total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "faults+resilience+analysis coverage: $$total% (floor $(COVER_FLOOR)%)"; \
 	awk "BEGIN {exit !($$total >= $(COVER_FLOOR))}" || \
 		{ echo "coverage $$total% below floor $(COVER_FLOOR)%"; exit 1; }
 

@@ -1,0 +1,93 @@
+// Command itm-lint runs the project's determinism and safety analyzer
+// suite (internal/analysis) over the module, using only the Go standard
+// library. Diagnostics print as "file:line:col: analyzer: message"; the
+// exit code is 0 when clean, 1 on any diagnostic, 2 on load failure.
+//
+// Usage:
+//
+//	itm-lint [-C dir] [packages...]
+//
+// With no arguments (or "./..."), every package in the module is checked.
+// Arguments are directories relative to the module root.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"itmap/internal/analysis"
+)
+
+func main() {
+	chdir := flag.String("C", ".", "directory inside the module to lint (module root is found via go.mod)")
+	list := flag.Bool("analyzers", false, "list the analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, an := range analysis.All() {
+			fmt.Printf("%-10s %s\n", an.Name, an.Doc)
+		}
+		return
+	}
+
+	root, err := analysis.FindModuleRoot(*chdir)
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		fatal(err)
+	}
+
+	var pkgs []*analysis.Package
+	args := flag.Args()
+	if len(args) == 0 || (len(args) == 1 && (args[0] == "./..." || args[0] == "...")) {
+		pkgs, err = loader.LoadAll()
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, arg := range args {
+			pkg, err := loader.LoadDir(filepath.Join(root, filepath.FromSlash(arg)))
+			if err != nil {
+				fatal(err)
+			}
+			pkgs = append(pkgs, pkg)
+		}
+	}
+
+	loadErrs := 0
+	total := 0
+	for _, pkg := range pkgs {
+		for _, e := range pkg.Errs {
+			fmt.Fprintf(os.Stderr, "itm-lint: load %s: %v\n", pkg.PkgPath, e)
+			loadErrs++
+		}
+		for _, d := range analysis.Run(pkg, analysis.All()) {
+			d.Pos.Filename = relPath(root, d.Pos.Filename)
+			fmt.Println(d)
+			total++
+		}
+	}
+	switch {
+	case loadErrs > 0:
+		os.Exit(2)
+	case total > 0:
+		fmt.Fprintf(os.Stderr, "itm-lint: %d diagnostic(s)\n", total)
+		os.Exit(1)
+	}
+}
+
+func relPath(root, path string) string {
+	if rel, err := filepath.Rel(root, path); err == nil && !filepath.IsAbs(rel) {
+		return rel
+	}
+	return path
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "itm-lint:", err)
+	os.Exit(2)
+}

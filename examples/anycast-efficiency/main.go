@@ -9,6 +9,7 @@ import (
 
 	"itmap"
 	"itmap/internal/measure/catchment"
+	"itmap/internal/order"
 	"itmap/internal/services"
 	"itmap/internal/topology"
 )
@@ -53,8 +54,8 @@ func main() {
 
 	// Per-site catchment sizes.
 	bySite := map[string]float64{}
-	for asn, site := range cmap.Landing {
-		bySite[site.City.Name] += inet.Users.ASUsers(asn)
+	for _, asn := range order.Keys(cmap.Landing) {
+		bySite[cmap.Landing[asn].City.Name] += inet.Users.ASUsers(asn)
 	}
 	fmt.Println("\nusers per landing site:")
 	for _, site := range d.AnycastSites {

@@ -1,0 +1,113 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// errdropScopes are the module-relative package prefixes errdrop patrols:
+// the measurement clients and the map-assembly core. These layers face the
+// fault injector, and a silently dropped transient there turns into a
+// coverage hole no test will attribute.
+var errdropScopes = []string{
+	"internal/measure",
+	"internal/core",
+}
+
+// ErrDrop flags discarded error returns — a call used as a bare statement
+// (or deferred) whose results include an error, or an error result assigned
+// to the blank identifier — inside the measurement and core packages.
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc:  "flag discarded error returns in internal/measure/... and internal/core",
+	Run:  runErrDrop,
+}
+
+func runErrDrop(p *Pass) {
+	if !inErrdropScope(p.Pkg.PkgPath) {
+		return
+	}
+	p.inspect(func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := stmt.X.(*ast.CallExpr); ok {
+				p.checkDiscardedCall(call, "")
+			}
+		case *ast.DeferStmt:
+			p.checkDiscardedCall(stmt.Call, "deferred ")
+		case *ast.AssignStmt:
+			p.checkBlankError(stmt)
+		}
+		return true
+	})
+}
+
+func inErrdropScope(pkgPath string) bool {
+	for _, scope := range errdropScopes {
+		if strings.HasSuffix(pkgPath, "/"+scope) || strings.Contains(pkgPath, "/"+scope+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *Pass) checkDiscardedCall(call *ast.CallExpr, kind string) {
+	t := p.TypeOf(call)
+	if t == nil || !resultHasError(t) {
+		return
+	}
+	p.Reportf(call.Pos(), "%serror result of %s discarded: handle it or assign with an //itmlint:allow", kind, types.ExprString(call.Fun))
+}
+
+// checkBlankError flags `_` positions that swallow an error, both in
+// tuple-unpacking form (`v, _ := f()`) and one-to-one assignments.
+func (p *Pass) checkBlankError(stmt *ast.AssignStmt) {
+	if len(stmt.Rhs) == 1 && len(stmt.Lhs) > 1 {
+		call, ok := stmt.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		tuple, ok := p.TypeOf(call).(*types.Tuple)
+		if !ok {
+			return
+		}
+		for i, lhs := range stmt.Lhs {
+			if i < tuple.Len() && isBlank(lhs) && isErrorType(tuple.At(i).Type()) {
+				p.Reportf(lhs.Pos(), "error result of %s assigned to blank identifier", types.ExprString(call.Fun))
+			}
+		}
+		return
+	}
+	for i, lhs := range stmt.Lhs {
+		if i >= len(stmt.Rhs) || !isBlank(lhs) {
+			continue
+		}
+		if t := p.TypeOf(stmt.Rhs[i]); t != nil && isErrorType(t) {
+			p.Reportf(lhs.Pos(), "error value assigned to blank identifier")
+		}
+	}
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+func resultHasError(t types.Type) bool {
+	switch rt := t.(type) {
+	case *types.Tuple:
+		for i := 0; i < rt.Len(); i++ {
+			if isErrorType(rt.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(rt)
+	}
+}

@@ -1,0 +1,67 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatFold flags `+=`/`-=` on float accumulators inside map-range bodies.
+// Float addition is not associative, so folding values in map-iteration
+// order produces run-dependent low bits — exactly the kind of drift the
+// byte-parity tests (deterministic left-fold merges) exist to prevent.
+// Fold over sorted keys instead.
+var FloatFold = &Analyzer{
+	Name: "floatfold",
+	Doc:  "flag += / -= on float accumulators inside map-range loops",
+	Run:  runFloatFold,
+}
+
+func runFloatFold(p *Pass) {
+	p.inspect(func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok || !isMapRange(p, rs) {
+			return true
+		}
+		ast.Inspect(rs.Body, func(m ast.Node) bool {
+			stmt, ok := m.(*ast.AssignStmt)
+			if !ok || (stmt.Tok != token.ADD_ASSIGN && stmt.Tok != token.SUB_ASSIGN) {
+				return true
+			}
+			t := p.TypeOf(stmt.Lhs[0])
+			if t == nil {
+				return true
+			}
+			if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsFloat != 0 {
+				if keyedByRangeKey(p, stmt.Lhs[0], rs) {
+					// acc[k] += v with k the range key touches each
+					// location once per pass — order cannot matter, and
+					// this is the hot shard-merge shape, so no sort tax.
+					return true
+				}
+				p.Reportf(stmt.Pos(), "float fold %s inside map iteration is order-dependent: iterate sorted keys", stmt.Tok)
+			}
+			return true
+		})
+		return true
+	})
+}
+
+// keyedByRangeKey reports whether lhs is an index expression whose index is
+// exactly the range statement's key variable.
+func keyedByRangeKey(p *Pass, lhs ast.Expr, rs *ast.RangeStmt) bool {
+	idx, ok := lhs.(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	idxID, ok := idx.Index.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	keyID, ok := rs.Key.(*ast.Ident)
+	if !ok || keyID.Name == "_" {
+		return false
+	}
+	obj := p.ObjectOf(idxID)
+	return obj != nil && obj == p.ObjectOf(keyID)
+}

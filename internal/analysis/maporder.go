@@ -1,0 +1,211 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder flags map-range loops whose bodies leak iteration order into an
+// observable sequence: appending to a slice (unless the slice is passed to
+// a sort/slices call later in the same function), writing to an io.Writer,
+// or sending on a channel. Go randomizes map iteration per run, so any of
+// these makes exported output differ between identical (config, seed) runs.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc: "flag range-over-map bodies that append to unsorted slices, write " +
+		"to io.Writers, or send on channels",
+	Run: runMapOrder,
+}
+
+func runMapOrder(p *Pass) {
+	writer := ioWriterType()
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok || !isMapRange(p, rs) {
+				return true
+			}
+			encl := funcOf(f, rs.Pos())
+			ast.Inspect(rs.Body, func(m ast.Node) bool {
+				switch stmt := m.(type) {
+				case *ast.SendStmt:
+					p.Reportf(stmt.Pos(), "channel send inside map iteration leaks nondeterministic order")
+				case *ast.AssignStmt:
+					p.checkMapRangeAppend(stmt, rs, encl)
+				case *ast.CallExpr:
+					p.checkMapRangeWrite(stmt, writer)
+				}
+				return true
+			})
+			return true
+		})
+	}
+}
+
+func isMapRange(p *Pass, rs *ast.RangeStmt) bool {
+	t := p.TypeOf(rs.X)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// checkMapRangeAppend flags `s = append(s, ...)` in a map-range body unless
+// s is handed to a sort or slices call after the loop in the same function
+// (the collect-then-sort idiom). The target may be a plain variable or a
+// selector chain like d.Field.
+func (p *Pass) checkMapRangeAppend(stmt *ast.AssignStmt, rs *ast.RangeStmt, encl *ast.BlockStmt) {
+	for i, rhs := range stmt.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok || !isBuiltinAppend(p, call) || i >= len(stmt.Lhs) {
+			continue
+		}
+		key, name := p.sliceKey(stmt.Lhs[i])
+		if key == (sliceKey{}) {
+			// Index expressions and other untrackable targets: no
+			// sorted-later tracking, flag it.
+			p.Reportf(stmt.Pos(), "append inside map iteration leaks nondeterministic order (sort before emitting)")
+			continue
+		}
+		// A slice declared inside the loop body lives one iteration; its
+		// order cannot leak across the map's iteration order.
+		if key.root.Pos() >= rs.Body.Pos() && key.root.Pos() < rs.Body.End() {
+			continue
+		}
+		if sortedLater(p, encl, rs.End(), key) {
+			continue
+		}
+		p.Reportf(stmt.Pos(), "append to %s inside map iteration without a later sort leaks nondeterministic order", name)
+	}
+}
+
+// sliceKey identifies an append target across statements: the root object
+// plus the rendered selector path ("d.ActivityShifts"); for a plain
+// identifier the path is just its name.
+type sliceKey struct {
+	root types.Object
+	path string
+}
+
+func (p *Pass) sliceKey(e ast.Expr) (sliceKey, string) {
+	switch x := e.(type) {
+	case *ast.Ident:
+		if obj := p.ObjectOf(x); obj != nil {
+			return sliceKey{root: obj, path: x.Name}, x.Name
+		}
+	case *ast.SelectorExpr:
+		base, ok := x.X.(*ast.Ident)
+		if !ok {
+			break
+		}
+		if obj := p.ObjectOf(base); obj != nil {
+			path := base.Name + "." + x.Sel.Name
+			return sliceKey{root: obj, path: path}, path
+		}
+	}
+	return sliceKey{}, ""
+}
+
+// checkMapRangeWrite flags writes to io.Writers inside a map-range body:
+// fmt.Fprint* calls, or Write/WriteString/WriteByte/WriteRune methods on a
+// receiver that implements io.Writer.
+func (p *Pass) checkMapRangeWrite(call *ast.CallExpr, writer *types.Interface) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := p.ObjectOf(sel.Sel).(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Recv() == nil {
+		if fn.Pkg().Path() == "fmt" {
+			switch fn.Name() {
+			case "Fprint", "Fprintf", "Fprintln":
+				p.Reportf(call.Pos(), "fmt.%s inside map iteration writes in nondeterministic order", fn.Name())
+			}
+		}
+		return
+	}
+	switch fn.Name() {
+	case "Write", "WriteString", "WriteByte", "WriteRune":
+	default:
+		return
+	}
+	recv := p.TypeOf(sel.X)
+	if recv == nil {
+		return
+	}
+	if types.Implements(recv, writer) || types.Implements(types.NewPointer(recv), writer) {
+		p.Reportf(call.Pos(), "%s on an io.Writer inside map iteration writes in nondeterministic order", fn.Name())
+	}
+}
+
+func isBuiltinAppend(p *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := p.ObjectOf(id).(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// sortedLater reports whether the append target is mentioned in a call
+// into package sort or slices after pos within body — the "collect keys,
+// then sort" idiom.
+func sortedLater(p *Pass, body *ast.BlockStmt, pos token.Pos, key sliceKey) bool {
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := p.ObjectOf(sel.Sel).(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		if path := fn.Pkg().Path(); path != "sort" && path != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(a ast.Node) bool {
+				if e, ok := a.(ast.Expr); ok {
+					if k, _ := p.sliceKey(e); k == key {
+						found = true
+					}
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}
+
+// ioWriterType builds the io.Writer interface from first principles so the
+// analyzer never needs to import package io's sources.
+func ioWriterType() *types.Interface {
+	errType := types.Universe.Lookup("error").Type()
+	params := types.NewTuple(types.NewVar(token.NoPos, nil, "p", types.NewSlice(types.Typ[types.Byte])))
+	results := types.NewTuple(
+		types.NewVar(token.NoPos, nil, "n", types.Typ[types.Int]),
+		types.NewVar(token.NoPos, nil, "err", errType),
+	)
+	sig := types.NewSignatureType(nil, nil, nil, params, results, false)
+	iface := types.NewInterfaceType([]*types.Func{types.NewFunc(token.NoPos, nil, "Write", sig)}, nil)
+	iface.Complete()
+	return iface
+}

@@ -1,0 +1,74 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// nodetermAllowedPkgs are the seeded substrates themselves: simtime wraps
+// the clock, randx wraps math/rand. Everything else must go through them
+// (wall-clock bridges like socket deadlines carry //itmlint:allow).
+var nodetermAllowedPkgs = map[string]bool{
+	"internal/simtime": true,
+	"internal/randx":   true,
+}
+
+// nodetermBannedTime is the subset of package time that reads or advances
+// the wall clock. Types and constants (time.Duration, time.Second) are fine.
+var nodetermBannedTime = map[string]string{
+	"Now":   "use internal/simtime (or annotate a wall-clock bridge)",
+	"Since": "use internal/simtime to measure simulated elapsed time",
+	"Sleep": "use simtime-scheduled delays (resilience.Backoff) instead of blocking",
+}
+
+// NoDeterm forbids wall-clock reads and global math/rand use outside the
+// seeded substrates, so every run is a pure function of (config, seed).
+var NoDeterm = &Analyzer{
+	Name: "nodeterm",
+	Doc: "forbid time.Now/Since/Sleep and package-level math/rand outside " +
+		"internal/simtime and internal/randx",
+	Run: runNoDeterm,
+}
+
+func runNoDeterm(p *Pass) {
+	if allowedPkg(p.Pkg.PkgPath, nodetermAllowedPkgs) {
+		return
+	}
+	p.inspect(func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := p.ObjectOf(sel.Sel).(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		// Only package-level functions: methods on *rand.Rand are a
+		// caller-seeded stream and belong to randx's implementation.
+		if fn.Type().(*types.Signature).Recv() != nil {
+			return true
+		}
+		switch fn.Pkg().Path() {
+		case "time":
+			if hint, banned := nodetermBannedTime[fn.Name()]; banned {
+				p.Reportf(sel.Pos(), "time.%s reads the wall clock: %s", fn.Name(), hint)
+			}
+		case "math/rand", "math/rand/v2":
+			p.Reportf(sel.Pos(), "package-level %s.%s bypasses the seeded substrate: use internal/randx",
+				fn.Pkg().Name(), fn.Name())
+		}
+		return true
+	})
+}
+
+// allowedPkg reports whether pkgPath ends with one of the allowlisted
+// module-relative suffixes.
+func allowedPkg(pkgPath string, allowed map[string]bool) bool {
+	for suffix := range allowed {
+		if pkgPath == suffix || strings.HasSuffix(pkgPath, "/"+suffix) {
+			return true
+		}
+	}
+	return false
+}

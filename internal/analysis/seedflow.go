@@ -1,0 +1,51 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// SeedFlow flags construction of a fresh randx source inside a loop body.
+// Re-seeding per iteration either correlates shards (same seed every pass)
+// or silently decorrelates them from the parent stream; the sanctioned
+// pattern is one parent source with per-shard Fork (or an explicit
+// per-shard seed derived outside the loop).
+var SeedFlow = &Analyzer{
+	Name: "seedflow",
+	Doc:  "forbid randx.New inside loop bodies; derive per-iteration sources with Fork",
+	Run:  runSeedFlow,
+}
+
+func runSeedFlow(p *Pass) {
+	p.inspect(func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		switch loop := n.(type) {
+		case *ast.ForStmt:
+			body = loop.Body
+		case *ast.RangeStmt:
+			body = loop.Body
+		default:
+			return true
+		}
+		ast.Inspect(body, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := p.ObjectOf(sel.Sel).(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Name() != "New" {
+				return true
+			}
+			if strings.HasSuffix(fn.Pkg().Path(), "internal/randx") {
+				p.Reportf(call.Pos(), "randx.New inside a loop re-seeds per iteration: fork a parent source outside the loop")
+			}
+			return true
+		})
+		return true
+	})
+}

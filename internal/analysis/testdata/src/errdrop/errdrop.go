@@ -1,0 +1,28 @@
+// Package errdrop is run with its PkgPath overridden into the
+// internal/measure scope: discarded error returns must be flagged.
+package errdrop
+
+import "strconv"
+
+func parse(s string) (int, error) { return strconv.Atoi(s) }
+
+func emit() error { return nil }
+
+// Drop discards errors four ways: a bare call statement, a blank tuple
+// position, a one-to-one blank assignment, and a deferred call.
+func Drop(s string) int {
+	parse(s)
+	v, _ := parse(s)
+	_ = emit()
+	defer emit()
+	return v
+}
+
+// Handled is clean.
+func Handled(s string) (int, error) {
+	v, err := parse(s)
+	if err != nil {
+		return 0, err
+	}
+	return v, nil
+}

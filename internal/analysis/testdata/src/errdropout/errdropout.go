@@ -1,0 +1,18 @@
+// Package errdropout duplicates the errdrop fixture's violations but is
+// loaded with its natural (out-of-scope) package path: errdrop patrols only
+// internal/measure/... and internal/core, so nothing here may be flagged.
+package errdropout
+
+import "strconv"
+
+func parse(s string) (int, error) { return strconv.Atoi(s) }
+
+func emit() error { return nil }
+
+// Drop would be three findings inside the errdrop scope.
+func Drop(s string) int {
+	parse(s)
+	v, _ := parse(s)
+	defer emit()
+	return v
+}

@@ -1,0 +1,38 @@
+// Package floatfold exercises the floatfold analyzer: order-dependent float
+// accumulation inside map ranges is flagged; integer folds and the keyed
+// shard-merge shape are not.
+package floatfold
+
+// Fold accumulates floats in map-iteration order.
+func Fold(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Shrink subtracts in map-iteration order.
+func Shrink(m map[string]float64, start float64) float64 {
+	for _, v := range m {
+		start -= v
+	}
+	return start
+}
+
+// CountInts is fine: integer addition is associative.
+func CountInts(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// MergeShard is the keyed hot-merge shape: dst[k] is written exactly once
+// per pass, so iteration order cannot change any sum.
+func MergeShard(dst, src map[uint32]float64) {
+	for k, v := range src {
+		dst[k] += v
+	}
+}

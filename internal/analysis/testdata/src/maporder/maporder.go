@@ -1,0 +1,79 @@
+// Package maporder exercises the maporder analyzer: map-iteration order
+// leaking into slices, writers, or channels is flagged; the
+// collect-then-sort idiom and loop-local slices are not.
+package maporder
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Leak appends in map order with no later sort.
+func Leak(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Dump writes in map order.
+func Dump(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// Build writes in map order through a strings.Builder method.
+func Build(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+// Send leaks map order onto a channel.
+func Send(ch chan string, m map[string]int) {
+	for k := range m {
+		ch <- k
+	}
+}
+
+// CollectThenSort is the sanctioned idiom: the append is unordered but the
+// slice is sorted before anyone can observe it.
+func CollectThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Collector exercises the selector-chain append target (d.items).
+type Collector struct{ items []string }
+
+// Collect appends to a struct field and sorts it afterwards: sanctioned.
+func (d *Collector) Collect(m map[string]int) {
+	for k := range m {
+		d.items = append(d.items, k)
+	}
+	sort.Strings(d.items)
+}
+
+// PerKey appends only to a slice declared inside the loop body, whose
+// lifetime is one iteration: order cannot leak.
+func PerKey(m map[string][]int) map[string]int {
+	out := make(map[string]int)
+	for k, vs := range m {
+		var local []int
+		for _, v := range vs {
+			local = append(local, v*2)
+		}
+		out[k] = len(local)
+	}
+	return out
+}

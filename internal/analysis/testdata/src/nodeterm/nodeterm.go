@@ -1,0 +1,29 @@
+// Package nodeterm exercises the nodeterm analyzer: wall-clock reads and
+// global math/rand use must be flagged; clock-free uses of package time and
+// annotated bridges must not.
+package nodeterm
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Bad reads the wall clock three ways and the global rand stream.
+func Bad() (time.Time, float64, time.Duration) {
+	now := time.Now()
+	elapsed := time.Since(now)
+	time.Sleep(time.Millisecond)
+	return now, rand.Float64(), elapsed
+}
+
+// Suppressed carries a justified bridge annotation.
+func Suppressed() time.Time {
+	//itmlint:allow nodeterm fixture wall-clock bridge
+	return time.Now()
+}
+
+// Good uses only the clock-free parts of package time.
+func Good() time.Time {
+	d := 3 * time.Second
+	return time.Unix(0, int64(d))
+}

@@ -1,0 +1,14 @@
+// Package nodetermok is run with its PkgPath overridden to
+// itmap/internal/randx: the seeded substrates themselves may touch the
+// clock and the global stream, so nothing here may be flagged.
+package nodetermok
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Inside would be a violation anywhere but the allowlisted substrates.
+func Inside() (time.Time, float64) {
+	return time.Now(), rand.Float64()
+}

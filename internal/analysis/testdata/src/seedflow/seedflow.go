@@ -1,0 +1,27 @@
+// Package seedflow exercises the seedflow analyzer: constructing a fresh
+// randx source inside a loop is flagged; forking a parent source is not.
+package seedflow
+
+import "itmap/internal/randx"
+
+// PerIteration re-seeds inside the loop body.
+func PerIteration(n int) float64 {
+	total := 0.0
+	for i := 0; i < n; i++ {
+		rng := randx.New(int64(i))
+		total += rng.Float64()
+	}
+	return total
+}
+
+// Forked derives per-shard streams the sanctioned way: one parent outside,
+// Fork inside.
+func Forked(n int) float64 {
+	parent := randx.New(1)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		rng := parent.Fork()
+		total += rng.Float64()
+	}
+	return total
+}

@@ -1,0 +1,32 @@
+// Package suppress exercises the //itmlint:allow machinery: an allow
+// silences exactly the named analyzer on exactly one line, a stale allow is
+// itself reported, and malformed or unknown directives are reported.
+package suppress
+
+import "time"
+
+// OneLineTwoAnalyzers triggers nodeterm and floatfold on the same line; the
+// allow names only floatfold, so the nodeterm finding must survive.
+func OneLineTwoAnalyzers(m map[string]float64) float64 {
+	total := 0.0
+	for range m {
+		//itmlint:allow floatfold fixture: silence exactly one analyzer
+		total += float64(time.Now().Unix())
+	}
+	return total
+}
+
+// Stale carries an allow with no matching diagnostic on this or the next
+// line.
+func Stale() int {
+	//itmlint:allow nodeterm nothing wrong on the next line
+	return 1
+}
+
+// Malformed is missing its reason.
+//itmlint:allow nodeterm
+func Malformed() {}
+
+// Unknown names an analyzer that does not exist.
+//itmlint:allow nosuchcheck because reasons
+func Unknown() {}

@@ -9,6 +9,7 @@ package apnic
 import (
 	"sort"
 
+	"itmap/internal/order"
 	"itmap/internal/randx"
 	"itmap/internal/topology"
 	"itmap/internal/users"
@@ -63,23 +64,19 @@ func (e *Estimates) Users(asn topology.ASN) (float64, bool) {
 // CountryUsers aggregates estimates per country code.
 func (e *Estimates) CountryUsers(top *topology.Topology) map[string]float64 {
 	out := map[string]float64{}
-	for asn, u := range e.ByAS {
+	for _, asn := range order.Keys(e.ByAS) {
 		a := top.ASes[asn]
 		if a == nil || a.Country == "ZZ" {
 			continue
 		}
-		out[a.Country] += u
+		out[a.Country] += e.ByAS[asn]
 	}
 	return out
 }
 
 // TotalUsers sums the published estimates.
 func (e *Estimates) TotalUsers() float64 {
-	total := 0.0
-	for _, u := range e.ByAS {
-		total += u
-	}
-	return total
+	return order.SumValues(e.ByAS)
 }
 
 // TopASes returns covered ASes by descending estimated users.

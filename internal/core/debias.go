@@ -1,6 +1,9 @@
 package core
 
-import "itmap/internal/topology"
+import (
+	"itmap/internal/order"
+	"itmap/internal/topology"
+)
 
 // DebiasByCountry corrects a cache-probing-derived per-AS activity signal
 // for uneven public-resolver adoption (§3.1.3): hit counts are proportional
@@ -28,7 +31,8 @@ func DebiasByCountry(byAS map[topology.ASN]float64, adoption map[string]float64,
 func CountryShares(byAS map[topology.ASN]float64, top *topology.Topology) map[string]float64 {
 	out := map[string]float64{}
 	total := 0.0
-	for asn, v := range byAS {
+	for _, asn := range order.Keys(byAS) {
+		v := byAS[asn]
 		a := top.ASes[asn]
 		if a == nil || a.Country == "ZZ" {
 			continue
@@ -48,17 +52,17 @@ func CountryShares(byAS map[topology.ASN]float64, top *topology.Topology) map[st
 func TVDistance(a, b map[string]float64) float64 {
 	seen := map[string]bool{}
 	total := 0.0
-	for k, av := range a {
-		d := av - b[k]
+	for _, k := range order.Keys(a) {
+		d := a[k] - b[k]
 		if d < 0 {
 			d = -d
 		}
 		total += d
 		seen[k] = true
 	}
-	for k, bv := range b {
+	for _, k := range order.Keys(b) {
 		if !seen[k] {
-			total += bv
+			total += b[k]
 		}
 	}
 	return total / 2

@@ -3,6 +3,7 @@ package core
 import (
 	"sort"
 
+	"itmap/internal/order"
 	"itmap/internal/topology"
 )
 
@@ -52,10 +53,7 @@ func DiffMaps(before, after *TrafficMap, minShift float64) *MapDiff {
 	sort.Slice(d.PrefixesVanished, func(i, j int) bool { return d.PrefixesVanished[i] < d.PrefixesVanished[j] })
 
 	shares := func(m *TrafficMap) map[topology.ASN]float64 {
-		total := 0.0
-		for _, v := range m.Users.ASActivity {
-			total += v
-		}
+		total := order.SumValues(m.Users.ASActivity)
 		out := map[topology.ASN]float64{}
 		if total == 0 {
 			return out

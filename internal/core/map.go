@@ -6,12 +6,14 @@ package core
 
 import (
 	"sort"
+	"strings"
 
 	"itmap/internal/dnssim"
 	"itmap/internal/geo"
 	"itmap/internal/measure/cacheprobe"
 	"itmap/internal/measure/rootlogs"
 	"itmap/internal/measure/tlsscan"
+	"itmap/internal/order"
 	"itmap/internal/topology"
 )
 
@@ -82,6 +84,15 @@ type UsersComponent struct {
 type MappingKey struct {
 	Domain   string
 	ClientAS topology.ASN
+}
+
+// Compare orders keys by domain then client AS, for deterministic
+// iteration over the mapping component.
+func (k MappingKey) Compare(o MappingKey) int {
+	if k.Domain != o.Domain {
+		return strings.Compare(k.Domain, o.Domain)
+	}
+	return int(k.ClientAS) - int(o.ClientAS)
 }
 
 // ServicesComponent answers the second question: where are services hosted,
@@ -187,7 +198,10 @@ func BuildMap(in BuildInputs) *TrafficMap {
 		}
 	}
 	if in.HitRates != nil {
-		for p, hr := range in.HitRates.ByPrefix {
+		// Sorted prefix order keeps the per-AS hit-rate folds bit-identical
+		// across runs; map order would shuffle the float associations.
+		for _, p := range order.Keys(in.HitRates.ByPrefix) {
+			hr := in.HitRates.ByPrefix[p]
 			m.Users.PrefixHitRate[p] = hr
 			if asn, ok := in.Top.OwnerOf(p); ok {
 				asHit[asn] += hr
@@ -313,10 +327,7 @@ func (m *TrafficMap) CoverageSummary() map[Coverage]int {
 // ActivityShare returns an AS's share of the map's total estimated
 // activity.
 func (m *TrafficMap) ActivityShare(asn topology.ASN) float64 {
-	total := 0.0
-	for _, v := range m.Users.ASActivity {
-		total += v
-	}
+	total := order.SumValues(m.Users.ASActivity)
 	if total == 0 {
 		return 0
 	}

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"itmap/internal/geo"
+	"itmap/internal/order"
 	"itmap/internal/topology"
 )
 
@@ -61,15 +62,18 @@ func (m *TrafficMap) OutageImpact(asn topology.ASN) OutageReport {
 	}
 
 	// Services whose measured mapping serves this AS, with fallbacks.
+	// Sorted keys matter beyond the sorted output slice: when a domain has
+	// several mapping entries, the first one seen picks the serving prefix
+	// handed to fallbackFor.
 	seen := map[string]bool{}
-	for key, serving := range m.Services.Mapping {
+	for _, key := range order.KeysFunc(m.Services.Mapping, MappingKey.Compare) {
 		if key.ClientAS != asn {
 			continue
 		}
 		if !seen[key.Domain] {
 			seen[key.Domain] = true
 			rep.AffectedServices = append(rep.AffectedServices, key.Domain)
-			if fb, ok := m.fallbackFor(key.Domain, asn, serving, lostPrefixes); ok {
+			if fb, ok := m.fallbackFor(key.Domain, asn, m.Services.Mapping[key], lostPrefixes); ok {
 				rep.Fallbacks[key.Domain] = fb
 			}
 		}
@@ -128,7 +132,8 @@ type CountryImpact struct {
 func (m *TrafficMap) CountryImpactOf(code string) CountryImpact {
 	ci := CountryImpact{Country: code}
 	var total, mine float64
-	for asn, v := range m.Users.ASActivity {
+	for _, asn := range order.Keys(m.Users.ASActivity) {
+		v := m.Users.ASActivity[asn]
 		total += v
 		if a := m.Top.ASes[asn]; a != nil && a.Country == code {
 			mine += v

@@ -2,6 +2,7 @@ package core
 
 import (
 	"itmap/internal/apnic"
+	"itmap/internal/order"
 	"itmap/internal/stats"
 	"itmap/internal/topology"
 	"itmap/internal/traffic"
@@ -37,7 +38,8 @@ func ValidateUsers(m *TrafficMap, mx *traffic.Matrix, est *apnic.Estimates) User
 
 	// Prefix-granularity traffic-weighted recall.
 	var total, found float64
-	for p, b := range mx.RefCDNByPrefix {
+	for _, p := range order.Keys(mx.RefCDNByPrefix) {
+		b := mx.RefCDNByPrefix[p]
 		total += b
 		if m.Users.ActivePrefixes[p] {
 			found += b
@@ -49,7 +51,8 @@ func ValidateUsers(m *TrafficMap, mx *traffic.Matrix, est *apnic.Estimates) User
 
 	// AS-granularity recall for root logs and for the combination.
 	var rootsFound, combFound, asTotal float64
-	for asn, b := range mx.RefCDNByAS {
+	for _, asn := range order.Keys(mx.RefCDNByAS) {
+		b := mx.RefCDNByAS[asn]
 		asTotal += b
 		src := m.Users.Sources[asn]
 		if src&FromRootLogs != 0 {
@@ -79,7 +82,8 @@ func ValidateUsers(m *TrafficMap, mx *traffic.Matrix, est *apnic.Estimates) User
 	// APNIC coverage: published users in identified ASes.
 	if est != nil {
 		var estTotal, estFound float64
-		for asn, u := range est.ByAS {
+		for _, asn := range order.Keys(est.ByAS) {
+			u := est.ByAS[asn]
 			estTotal += u
 			if m.Users.Sources[asn]&FromCacheProbe != 0 {
 				estFound += u
@@ -90,14 +94,15 @@ func ValidateUsers(m *TrafficMap, mx *traffic.Matrix, est *apnic.Estimates) User
 		}
 	}
 
-	// Rank agreement of activity estimates with true client traffic.
+	// Rank agreement of activity estimates with true client traffic. The
+	// pair order is pinned so Spearman's tie-breaking sees a stable input.
 	var xs, ys []float64
-	for asn, a := range m.Users.ASActivity {
+	for _, asn := range order.Keys(m.Users.ASActivity) {
 		truth := mx.ClientASBytes[asn]
 		if truth == 0 {
 			continue
 		}
-		xs = append(xs, a)
+		xs = append(xs, m.Users.ASActivity[asn])
 		ys = append(ys, truth)
 	}
 	v.ActivityRankCorr = stats.Spearman(xs, ys)

@@ -160,12 +160,15 @@ func rankContrast[T comparable](elems []T, a, b []float64, name func(T) string) 
 // String renders the report for humans.
 func (r WeightingReport) String() string {
 	var b strings.Builder
+	//itmlint:allow errdrop strings.Builder writes cannot fail
 	fmt.Fprintf(&b, "path length: median %g hops per route vs %g per byte; <=1 hop: %.1f%% of routes vs %.1f%% of bytes\n",
 		r.PathLen.UnweightedMedian, r.PathLen.WeightedMedian,
 		r.PathLen.FracShortUnweighted*100, r.PathLen.FracShortWeighted*100)
+	//itmlint:allow errdrop strings.Builder writes cannot fail
 	fmt.Fprintf(&b, "AS importance: degree-vs-traffic Spearman %.2f, top-10 overlap %.0f%% (degree leader %s, traffic leader %s)\n",
 		r.ASImportance.Spearman, r.ASImportance.TopOverlap*100,
 		r.ASImportance.TopUnweighted, r.ASImportance.TopWeighted)
+	//itmlint:allow errdrop strings.Builder writes cannot fail
 	fmt.Fprintf(&b, "link importance: uniform-vs-load top-10 overlap %.0f%%\n",
 		r.LinkImportance.TopOverlap*100)
 	return b.String()

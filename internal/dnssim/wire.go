@@ -251,6 +251,9 @@ func (c *WireClient) roundTrip(q *dnswire.Message) (*dnswire.Message, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.Timeout > 0 {
+		// A kernel socket deadline is inherently wall-clock: this client
+		// talks to a real UDP endpoint, not the simulated substrate.
+		//itmlint:allow nodeterm real socket deadline needs the wall clock
 		if err := c.conn.SetDeadline(time.Now().Add(c.Timeout)); err != nil {
 			return nil, err
 		}

@@ -16,6 +16,7 @@ import (
 	"itmap/internal/measure/resolvermap"
 	"itmap/internal/measure/tracer"
 	"itmap/internal/measure/trafest"
+	"itmap/internal/order"
 	"itmap/internal/randx"
 	"itmap/internal/simtime"
 	"itmap/internal/stats"
@@ -59,7 +60,8 @@ func (e *Env) RunE10() *Result {
 	// attribution: outsourced-resolver networks come back.
 	mx := e.Matrix()
 	var total, naiveFound, corrFound float64
-	for asn, b := range mx.RefCDNByAS {
+	for _, asn := range order.Keys(mx.RefCDNByAS) {
+		b := mx.RefCDNByAS[asn]
 		total += b
 		if naive[asn] > 0 {
 			naiveFound += b

@@ -11,6 +11,7 @@ import (
 	"itmap/internal/gravity"
 	"itmap/internal/latency"
 	"itmap/internal/measure/geoloc"
+	"itmap/internal/order"
 	"itmap/internal/topology"
 )
 
@@ -50,7 +51,8 @@ func (e *Env) RunE14() *Result {
 
 	var atlasErrs, combinedErrs []float64
 	combined := append(append([]geoloc.VantagePoint{}, atlas...), facility...)
-	for p, city := range targets {
+	for _, p := range order.Keys(targets) {
+		city := targets[p]
 		if est, ok := geoloc.Localize(lm, atlas, p, 5); ok {
 			atlasErrs = append(atlasErrs, est.ErrorKm(city.Coord))
 		}
@@ -103,14 +105,8 @@ func (e *Env) RunE15() *Result {
 	// popularity ranks; absolute volume calibration uses the catalog's
 	// Zipf law).
 	mapRows := map[topology.ASN]float64{}
-	var actTotal float64
-	for _, act := range m.Users.ASActivity {
-		actTotal += act
-	}
-	var bytesTotal float64
-	for _, v := range trueRows {
-		bytesTotal += v
-	}
+	actTotal := order.SumValues(m.Users.ASActivity)
+	bytesTotal := order.SumValues(trueRows)
 	for asn, act := range m.Users.ASActivity {
 		mapRows[asn] = act / actTotal * bytesTotal
 	}

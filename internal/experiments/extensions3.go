@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"itmap/internal/measure/cacheprobe"
+	"itmap/internal/order"
 )
 
 // RunE16 probes Table 1's desired "Daily" temporal precision for finding
@@ -49,10 +50,11 @@ func (e *Env) RunE16() *Result {
 	// coverage gap, not churn.)
 	mx := e.Matrix()
 	var everFound, stable float64
-	for p, b := range mx.RefCDNByPrefix {
+	for _, p := range order.Keys(mx.RefCDNByPrefix) {
 		if !day1.Found[p] && !day2.Found[p] {
 			continue
 		}
+		b := mx.RefCDNByPrefix[p]
 		everFound += b
 		if day1.Found[p] && day2.Found[p] {
 			stable += b

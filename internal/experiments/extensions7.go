@@ -7,6 +7,7 @@ import (
 	"itmap/internal/dnssim"
 	"itmap/internal/measure/cacheprobe"
 	"itmap/internal/measure/resolvermap"
+	"itmap/internal/order"
 	"itmap/internal/services"
 	"itmap/internal/simtime"
 	"itmap/internal/stats"
@@ -60,9 +61,9 @@ func (e *Env) RunE21() *Result {
 		if svc, ok := w.Cat.ByDomain(domain); ok {
 			svcTTL = svc.TTLSeconds
 		}
-		for p, hrate := range hr.ByPrefix {
+		for _, p := range order.Keys(hr.ByPrefix) {
 			if asn, ok := w.Top.OwnerOf(p); ok {
-				rateByAS[asn] += cacheprobe.RateFromHitRate(hrate, hr.ProbesPerPrefix, svcTTL)
+				rateByAS[asn] += cacheprobe.RateFromHitRate(hr.ByPrefix[p], hr.ProbesPerPrefix, svcTTL)
 			}
 		}
 	}
@@ -78,8 +79,8 @@ func (e *Env) RunE21() *Result {
 
 	// The adoption estimate itself should track the (hidden) truth.
 	var ax, ay []float64
-	for c, est := range adoption {
-		ax = append(ax, est)
+	for _, c := range order.Keys(adoption) {
+		ax = append(ax, adoption[c])
 		ay = append(ay, w.PR.AdoptionShare(c))
 	}
 	rhoAdoption := stats.Spearman(ax, ay)

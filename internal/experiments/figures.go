@@ -6,6 +6,7 @@ import (
 
 	"itmap/internal/core"
 	"itmap/internal/geo"
+	"itmap/internal/order"
 	"itmap/internal/stats"
 	"itmap/internal/topology"
 )
@@ -143,11 +144,12 @@ func (e *Env) RunFigure1b() *Result {
 
 	perCountryTotal := map[string]float64{}
 	perCountryFound := map[string]float64{}
-	for asn, u := range est.ByAS {
+	for _, asn := range order.Keys(est.ByAS) {
 		a := w.Top.ASes[asn]
 		if a == nil || a.Country == "ZZ" {
 			continue
 		}
+		u := est.ByAS[asn]
 		perCountryTotal[a.Country] += u
 		if disc.FoundASes[asn] {
 			perCountryFound[a.Country] += u

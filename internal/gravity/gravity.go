@@ -12,6 +12,7 @@ import (
 	"math"
 	"sort"
 
+	"itmap/internal/order"
 	"itmap/internal/stats"
 	"itmap/internal/topology"
 )
@@ -20,6 +21,14 @@ import (
 type Pair struct {
 	Client topology.ASN
 	Owner  topology.ASN
+}
+
+// Compare orders pairs by client then owner, for deterministic iteration.
+func (p Pair) Compare(o Pair) int {
+	if p.Client != o.Client {
+		return int(p.Client) - int(o.Client)
+	}
+	return int(p.Owner) - int(o.Owner)
 }
 
 // Completion is a gravity-model estimate of a traffic matrix.
@@ -35,13 +44,8 @@ type Completion struct {
 // treated as the grand total.
 func Complete(clientTotals map[topology.ASN]float64, ownerTotals map[topology.ASN]float64) *Completion {
 	c := &Completion{Est: map[Pair]float64{}}
-	var rowSum, colSum float64
-	for _, v := range clientTotals {
-		rowSum += v
-	}
-	for _, v := range ownerTotals {
-		colSum += v
-	}
+	rowSum := order.SumValues(clientTotals)
+	colSum := order.SumValues(ownerTotals)
 	if rowSum == 0 || colSum == 0 {
 		return c
 	}
@@ -77,7 +81,8 @@ func Evaluate(c *Completion, truth map[Pair]float64) Eval {
 	var xs, ys []float64
 	var apes []float64
 	var wape, wsum float64
-	for pair, tv := range truth {
+	for _, pair := range order.KeysFunc(truth, Pair.Compare) {
+		tv := truth[pair]
 		if tv <= 0 {
 			continue
 		}

@@ -15,6 +15,7 @@ import (
 	"sort"
 
 	"itmap/internal/dnssim"
+	"itmap/internal/order"
 	"itmap/internal/topology"
 	"itmap/internal/traffic"
 	"itmap/internal/users"
@@ -103,10 +104,7 @@ func (a *Association) ClientShare(resolver topology.PrefixID, client topology.AS
 	if len(m) == 0 {
 		return 0
 	}
-	total := 0.0
-	for _, v := range m {
-		total += v
-	}
+	total := order.SumValues(m)
 	if total == 0 {
 		return 0
 	}
@@ -143,16 +141,17 @@ func (a *Association) AssociatedClientASes() int {
 func (a *Association) EstimateAdoption(top *topology.Topology, publicResolver topology.PrefixID) map[string]float64 {
 	viaPublic := map[string]float64{}
 	total := map[string]float64{}
-	for rp, clients := range a.Clients {
+	for _, rp := range order.Keys(a.Clients) {
+		clients := a.Clients[rp]
 		isPublic := rp == publicResolver
-		for asn, v := range clients {
+		for _, asn := range order.Keys(clients) {
 			as := top.ASes[asn]
 			if as == nil || as.Country == "ZZ" {
 				continue
 			}
-			total[as.Country] += v
+			total[as.Country] += clients[asn]
 			if isPublic {
-				viaPublic[as.Country] += v
+				viaPublic[as.Country] += clients[asn]
 			}
 		}
 	}
@@ -172,7 +171,8 @@ func (a *Association) EstimateAdoption(top *topology.Topology, publicResolver to
 // (attributed to owner of the resolver prefix).
 func (a *Association) Reattribute(top *topology.Topology, byResolverPrefix map[topology.PrefixID]float64) map[topology.ASN]float64 {
 	out := map[topology.ASN]float64{}
-	for rp, volume := range byResolverPrefix {
+	for _, rp := range order.Keys(byResolverPrefix) {
+		volume := byResolverPrefix[rp]
 		m := a.Clients[rp]
 		if len(m) == 0 {
 			if owner, ok := top.OwnerOf(rp); ok {
@@ -180,12 +180,9 @@ func (a *Association) Reattribute(top *topology.Topology, byResolverPrefix map[t
 			}
 			continue
 		}
-		total := 0.0
-		for _, v := range m {
-			total += v
-		}
-		for client, v := range m {
-			out[client] += volume * v / total
+		total := order.SumValues(m)
+		for _, client := range order.Keys(m) {
+			out[client] += volume * m[client] / total
 		}
 	}
 	return out

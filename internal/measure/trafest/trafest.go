@@ -12,6 +12,7 @@ package trafest
 import (
 	"itmap/internal/bgp"
 	"itmap/internal/measure/tracer"
+	"itmap/internal/order"
 	"itmap/internal/stats"
 	"itmap/internal/topology"
 	"itmap/internal/traffic"
@@ -68,7 +69,8 @@ func Evaluate(top *topology.Topology, mx *traffic.Matrix, est *Estimate) Eval {
 	var ev Eval
 	var xs, ys []float64
 	var seenLoad, unseenLoad, pniLoad, pniUnseen float64
-	for lk, load := range mx.LinkLoad {
+	for _, lk := range order.KeysFunc(mx.LinkLoad, topology.LinkKey.Compare) {
+		load := mx.LinkLoad[lk]
 		cross := est.Crossings[lk]
 		if cross > 0 {
 			xs = append(xs, cross)

@@ -1,0 +1,51 @@
+// Package order provides deterministic iteration over Go maps. Map
+// iteration order is randomized per run, so any fold, append, or write
+// driven directly by `range m` produces run-dependent output; these
+// helpers pin iteration to sorted key order so identical (config, seed)
+// runs emit identical bytes. itm-lint's maporder and floatfold analyzers
+// steer offending loops here.
+package order
+
+import (
+	"cmp"
+	"slices"
+)
+
+// Number covers the accumulator types the simulator folds over maps.
+type Number interface {
+	~int | ~int8 | ~int16 | ~int32 | ~int64 |
+		~uint | ~uint8 | ~uint16 | ~uint32 | ~uint64 |
+		~float32 | ~float64
+}
+
+// Keys returns the keys of m in ascending order.
+func Keys[M ~map[K]V, K cmp.Ordered, V any](m M) []K {
+	ks := make([]K, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	slices.Sort(ks)
+	return ks
+}
+
+// KeysFunc returns the keys of m sorted by compare (as in slices.SortFunc).
+// Use it for struct keys that have no natural cmp.Ordered form.
+func KeysFunc[M ~map[K]V, K comparable, V any](m M, compare func(a, b K) int) []K {
+	ks := make([]K, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	slices.SortFunc(ks, compare)
+	return ks
+}
+
+// SumValues folds m's values in ascending key order. For float values this
+// fixes the association order, so the low bits of the total are identical
+// across runs — the property the byte-parity tests depend on.
+func SumValues[M ~map[K]V, K cmp.Ordered, V Number](m M) V {
+	var total V
+	for _, k := range Keys(m) {
+		total += m[k]
+	}
+	return total
+}

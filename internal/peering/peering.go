@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"itmap/internal/apnic"
+	"itmap/internal/order"
 	"itmap/internal/topology"
 )
 
@@ -166,7 +167,7 @@ func (r *Recommender) Score(a, b topology.ASN) (float64, int) {
 		pa, pb = pb, pa
 	}
 	aa := 0.0
-	for c := range pa {
+	for _, c := range order.Keys(pa) {
 		if c == a || c == b || !pb[c] {
 			continue
 		}

@@ -126,6 +126,7 @@ func (r Retryer) DoSleep(key uint64, perHour float64, op func(attempt int) error
 			return a + 1, err
 		}
 		if a+1 < budget {
+			//itmlint:allow nodeterm DoSleep is the documented wall-clock bridge
 			time.Sleep(time.Duration(float64(AsDuration(r.Backoff.Delay(key, a))) * perHour))
 		}
 	}

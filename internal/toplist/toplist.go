@@ -10,6 +10,7 @@ package toplist
 import (
 	"sort"
 
+	"itmap/internal/order"
 	"itmap/internal/randx"
 	"itmap/internal/services"
 	"itmap/internal/traffic"
@@ -159,14 +160,13 @@ func TrueByteShares(tm *traffic.Model, mx *traffic.Matrix) map[string]float64 {
 func ShareError(proxy, truth map[string]float64) float64 {
 	seen := map[string]bool{}
 	total := 0.0
-	for d, p := range proxy {
-		t := truth[d]
-		total += abs(p - t)
+	for _, d := range order.Keys(proxy) {
+		total += abs(proxy[d] - truth[d])
 		seen[d] = true
 	}
-	for d, t := range truth {
+	for _, d := range order.Keys(truth) {
 		if !seen[d] {
-			total += t
+			total += truth[d]
 		}
 	}
 	return total / 2

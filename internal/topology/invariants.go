@@ -1,6 +1,9 @@
 package topology
 
-import "fmt"
+import (
+	"fmt"
+	"slices"
+)
 
 // CheckInvariants validates structural properties every generated topology
 // must satisfy. It returns the first violation found, or nil.
@@ -38,6 +41,8 @@ func (t *Topology) CheckInvariants() error {
 			tier1s = append(tier1s, asn)
 		}
 	}
+	// Sorted so the first violation reported is stable across runs.
+	slices.Sort(tier1s)
 	for asn, a := range t.ASes {
 		provs := a.Providers()
 		switch a.Type {
@@ -145,8 +150,8 @@ func (t *Topology) checkProviderDAG() error {
 // TotalSubscribersK sums eyeball subscribers (thousands) across the world.
 func (t *Topology) TotalSubscribersK() float64 {
 	total := 0.0
-	for _, a := range t.ASes {
-		total += a.SubscribersK
+	for _, asn := range t.ASNs() {
+		total += t.ASes[asn].SubscribersK
 	}
 	return total
 }

@@ -411,6 +411,15 @@ func MakeLinkKey(a, b ASN) LinkKey {
 	return LinkKey{Lo: a, Hi: b}
 }
 
+// Compare orders link keys by (Lo, Hi), for deterministic iteration over
+// link-keyed maps.
+func (k LinkKey) Compare(o LinkKey) int {
+	if k.Lo != o.Lo {
+		return int(k.Lo) - int(o.Lo)
+	}
+	return int(k.Hi) - int(o.Hi)
+}
+
 // Links returns every undirected link exactly once.
 func (t *Topology) Links() []LinkInfo {
 	var out []LinkInfo

@@ -9,6 +9,7 @@ import (
 	"math"
 
 	"itmap/internal/geo"
+	"itmap/internal/order"
 	"itmap/internal/randx"
 	"itmap/internal/simtime"
 	"itmap/internal/topology"
@@ -95,11 +96,7 @@ func (m *Model) ASUsers(asn topology.ASN) float64 { return m.asUsers[asn] }
 
 // TotalUsers returns the world user population.
 func (m *Model) TotalUsers() float64 {
-	total := 0.0
-	for _, u := range m.asUsers {
-		total += u
-	}
-	return total
+	return order.SumValues(m.asUsers)
 }
 
 // UserPrefixes returns all prefixes with non-zero users, in PrefixID order.
