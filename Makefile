@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race cover bench experiments experiments-md csv examples clean
+.PHONY: all build vet lint test race cover bench bench-all serve-smoke experiments experiments-md csv examples clean
 
 all: build vet lint test
 
@@ -37,8 +37,43 @@ cover:
 	awk "BEGIN {exit !($$total >= $(COVER_FLOOR))}" || \
 		{ echo "coverage $$total% below floor $(COVER_FLOOR)%"; exit 1; }
 
+# Deterministic performance counters for the serving layer (codec, store,
+# queries) plus the matrix/BGP hot paths. Fixed -benchtime keeps iteration
+# counts reproducible; itm-bench drops wall-clock metrics, so the committed
+# BENCH_serve.json only changes when allocation behavior or the codec's
+# output actually change.
 bench:
+	@{ $(GO) test -run '^$$' -bench . -benchmem -benchtime 8x ./internal/mapstore/ && \
+	   $(GO) test -run '^$$' -bench 'BenchmarkBuildMatrix$$|BenchmarkBuildMatrixSerial$$|BenchmarkComputeAll$$' -benchmem -benchtime 4x . ; } \
+	| tee bench_serve.out
+	$(GO) run ./cmd/itm-bench -o BENCH_serve.json < bench_serve.out
+	@rm -f bench_serve.out
+
+# The full benchmark suite (every paper artifact + substrate + ablations).
+bench-all:
 	$(GO) test -bench=. -benchmem ./...
+
+# End-to-end smoke: export a tiny-world snapshot, serve it, and check the
+# health endpoint plus one deterministic query answer.
+serve-smoke:
+	@rm -rf smoke && mkdir -p smoke
+	$(GO) build -o smoke/itm-serve ./cmd/itm-serve
+	$(GO) run ./cmd/itm -scale tiny -seed 42 export -o smoke/snapshot.json
+	@smoke/itm-serve -addr 127.0.0.1:8411 -snapshot smoke/snapshot.json & \
+	pid=$$!; trap 'kill $$pid 2>/dev/null' EXIT; \
+	for i in $$(seq 1 50); do \
+		curl -sf http://127.0.0.1:8411/healthz >/dev/null 2>&1 && break; sleep 0.2; \
+	done; \
+	set -e; \
+	curl -sf http://127.0.0.1:8411/healthz | grep -q '"status": "ok"'; \
+	curl -sf 'http://127.0.0.1:8411/v1/top?k=1' > smoke/top.json; \
+	grep -q '"asn": 3000' smoke/top.json; \
+	grep -q '"activity": 867355232.4158412' smoke/top.json; \
+	curl -sf 'http://127.0.0.1:8411/v1/map/0?format=binary' > smoke/epoch0.itmb; \
+	curl -sf 'http://127.0.0.1:8411/v1/map/0?format=binary' > smoke/epoch0b.itmb; \
+	cmp -s smoke/epoch0.itmb smoke/epoch0b.itmb; \
+	echo "serve-smoke: OK (healthz + deterministic top-1 + stable binary export)"
+	@rm -rf smoke
 
 # Regenerate every table/figure at full scale (exit code reflects PASS/FAIL).
 experiments:

@@ -277,6 +277,14 @@ func BenchmarkE24FaultResilience(b *testing.B) {
 	}
 }
 
+func BenchmarkE25EpochStore(b *testing.B) {
+	s := sharedSession(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		requirePass(b, s.RunE25())
+	}
+}
+
 // --- Campaign and substrate benchmarks -------------------------------------
 
 func BenchmarkWorldBuildSmall(b *testing.B) {

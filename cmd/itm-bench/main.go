@@ -1,0 +1,105 @@
+// Command itm-bench distills `go test -bench` output into a JSON file of
+// deterministic performance counters. Wall-clock metrics (ns/op, MB/s)
+// depend on the machine and are dropped; allocation counts, bytes per
+// operation, iteration counts, and custom b.ReportMetric counters (e.g.
+// encoded_bytes) are pure functions of the code and the fixed -benchtime,
+// so CI can diff the file against the committed baseline.
+//
+// Usage:
+//
+//	go test -bench ... -benchmem -benchtime 8x ./... | itm-bench -o BENCH_serve.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// gomaxprocsSuffix strips the trailing -N parallelism tag from a benchmark
+// name: the same bench on a different machine keeps the same key.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// volatile units vary run-to-run or machine-to-machine and are excluded.
+var volatile = map[string]bool{"ns/op": true, "MB/s": true}
+
+// fuzzy units are deterministic to a fraction of a percent but jitter in
+// the low digits (sync.Pool reuse, map growth thresholds, goroutine
+// bookkeeping), so they are rounded to 2 significant digits; a real
+// regression still moves them.
+var fuzzy = map[string]bool{"B/op": true, "allocs/op": true}
+
+func sigRound(v float64) float64 {
+	if v == 0 {
+		return 0
+	}
+	scale := math.Pow(10, math.Floor(math.Log10(math.Abs(v)))-1)
+	return math.Round(v/scale) * scale
+}
+
+func parse(lines *bufio.Scanner) (map[string]map[string]float64, error) {
+	out := map[string]map[string]float64{}
+	for lines.Scan() {
+		fields := strings.Fields(lines.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := gomaxprocsSuffix.ReplaceAllString(fields[0], "")
+		ops, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			continue // e.g. a verbose-mode "BenchmarkX" progress line
+		}
+		m := map[string]float64{"ops": ops}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s: bad value %q", name, fields[i])
+			}
+			unit := fields[i+1]
+			if volatile[unit] {
+				continue
+			}
+			if fuzzy[unit] {
+				v = sigRound(v)
+			}
+			m[unit] = v
+		}
+		if _, dup := out[name]; dup {
+			return nil, fmt.Errorf("duplicate benchmark %s", name)
+		}
+		out[name] = m
+	}
+	return out, lines.Err()
+}
+
+func main() {
+	outPath := flag.String("o", "BENCH_serve.json", "output file")
+	flag.Parse()
+
+	results, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "itm-bench:", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "itm-bench: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	blob, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "itm-bench:", err)
+		os.Exit(1)
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(*outPath, blob, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "itm-bench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "itm-bench: wrote %d benchmarks to %s\n", len(results), *outPath)
+}

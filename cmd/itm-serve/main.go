@@ -1,0 +1,117 @@
+// Command itm-serve exposes an epoch-versioned Internet traffic map over
+// HTTP. It either runs a multi-day measurement campaign on a simulated
+// Internet (one epoch per day) or loads a previously exported map snapshot,
+// then serves the query API until interrupted:
+//
+//	GET /healthz                  liveness + epoch count
+//	GET /v1/epochs                epoch metadata
+//	GET /v1/map/{epoch}           map document (?format=binary → ITMB)
+//	GET /v1/top?epoch=&k=         top-K ASes by activity
+//	GET /v1/as/{asn}?epoch=&k=    per-AS view + activity series
+//	GET /v1/diff/{a}/{b}          epoch-to-epoch diff
+//	GET /v1/link/{a}/{b}?epoch=   ground-truth link load (simulation mode)
+//
+// Usage:
+//
+//	itm-serve [-addr :8411] [-scale tiny|small|default] [-seed N]
+//	          [-epochs N] [-workers N] [-snapshot map.json]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"itmap/internal/core"
+	"itmap/internal/experiments"
+	"itmap/internal/mapstore"
+	"itmap/internal/world"
+)
+
+func main() {
+	addr := flag.String("addr", ":8411", "listen address")
+	scale := flag.String("scale", "tiny", "world scale: tiny, small, or default")
+	seed := flag.Int64("seed", 42, "world seed")
+	epochs := flag.Int("epochs", 3, "simulated days to measure (one epoch per day)")
+	workers := flag.Int("workers", 0, "matrix build workers (0 = one per CPU)")
+	snapshot := flag.String("snapshot", "", "serve this exported map JSON instead of simulating")
+	flag.Parse()
+
+	if err := run(*addr, *scale, *seed, *epochs, *workers, *snapshot); err != nil {
+		fmt.Fprintln(os.Stderr, "itm-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func buildStore(scale string, seed int64, epochs, workers int, snapshot string) (*mapstore.Store, error) {
+	if snapshot != "" {
+		f, err := os.Open(snapshot)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		doc, err := core.ImportDocument(f)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", snapshot, err)
+		}
+		st := mapstore.NewStore()
+		if _, err := st.Append(0, doc); err != nil {
+			return nil, fmt.Errorf("%s: %w", snapshot, err)
+		}
+		return st, nil
+	}
+
+	var cfg world.Config
+	switch scale {
+	case "tiny":
+		cfg = world.Tiny(seed)
+	case "small":
+		cfg = world.Small(seed)
+	case "default":
+		cfg = world.Default(seed)
+	default:
+		return nil, fmt.Errorf("unknown scale %q", scale)
+	}
+	fmt.Fprintf(os.Stderr, "itm-serve: building %s world (seed %d) and measuring %d epoch(s)...\n",
+		scale, seed, epochs)
+	return experiments.BuildEpochStore(world.Build(cfg), epochs, workers)
+}
+
+func run(addr, scale string, seed int64, epochs, workers int, snapshot string) error {
+	st, err := buildStore(scale, seed, epochs, workers, snapshot)
+	if err != nil {
+		return err
+	}
+	for _, info := range st.Infos() {
+		fmt.Fprintf(os.Stderr, "itm-serve: epoch %d at %vh: %d prefixes, %d ASes, %d servers, %d mappings, %d bytes encoded\n",
+			info.ID, info.At, info.ActivePrefixes, info.ASes, info.Servers, info.Mappings, info.EncodedBytes)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: mapstore.NewHandler(st)}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "itm-serve: listening on %s\n", ln.Addr())
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Fprintln(os.Stderr, "itm-serve: shutting down")
+	// Graceful drain: in-flight requests finish; new connections are
+	// refused. No deadline — a second signal kills the process anyway.
+	return srv.Shutdown(context.Background())
+}

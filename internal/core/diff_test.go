@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"testing"
 
 	"itmap/internal/topology"
@@ -68,6 +69,69 @@ func TestDiffMapsIdentical(t *testing.T) {
 	empty := mapWith(nil, nil)
 	if DiffMaps(empty, empty, 0.1).Jaccard() != 1 {
 		t.Error("empty maps should be identical")
+	}
+}
+
+func TestDiffMapsDisjoint(t *testing.T) {
+	before := mapWith([]topology.PrefixID{1, 2}, map[topology.ASN]float64{10: 4})
+	after := mapWith([]topology.PrefixID{3, 4, 5}, map[topology.ASN]float64{20: 4})
+	d := DiffMaps(before, after, 0.01)
+	if d.StablePrefixes != 0 {
+		t.Errorf("stable %d, want 0", d.StablePrefixes)
+	}
+	if got := d.Jaccard(); got != 0 {
+		t.Errorf("jaccard %f, want 0 for disjoint prefix sets", got)
+	}
+	if len(d.PrefixesAppeared) != 3 || len(d.PrefixesVanished) != 2 {
+		t.Errorf("appeared %v vanished %v", d.PrefixesAppeared, d.PrefixesVanished)
+	}
+	// The whole share moved from AS 10 to AS 20.
+	if len(d.ActivityShifts) != 2 {
+		t.Fatalf("shifts %+v", d.ActivityShifts)
+	}
+	for _, s := range d.ActivityShifts {
+		if abs(s.Delta()) != 1 {
+			t.Errorf("shift %+v, want full share move", s)
+		}
+	}
+
+	// One side empty: everything appears, nothing is stable.
+	d = DiffMaps(mapWith(nil, nil), after, 0.01)
+	if d.StablePrefixes != 0 || len(d.PrefixesAppeared) != 3 || d.Jaccard() != 0 {
+		t.Errorf("empty-before diff %+v", d)
+	}
+}
+
+// TestDiffMapsSelfEmptyProperty pins the property E25 and the store's diff
+// endpoint rely on: for any map the measurement pipeline produces,
+// Diff(a, a) is empty — even at the smallest reporting threshold — and an
+// export→import round trip does not perturb the users component enough to
+// register as a diff.
+func TestDiffMapsSelfEmptyProperty(t *testing.T) {
+	for _, seed := range []int64{1, 24, 31} {
+		_, m := buildFullMap(t, seed)
+		d := DiffMaps(m, m, 1e-12)
+		if d.Jaccard() != 1 || len(d.PrefixesAppeared)+len(d.PrefixesVanished)+len(d.ActivityShifts) != 0 {
+			t.Errorf("seed %d: self-diff not empty: %d appeared, %d vanished, %d shifts",
+				seed, len(d.PrefixesAppeared), len(d.PrefixesVanished), len(d.ActivityShifts))
+		}
+
+		var buf bytes.Buffer
+		if err := m.Export(&buf); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		doc, err := ImportDocument(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		users, err := ImportUsers(doc)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		d = DiffMaps(m, &TrafficMap{Users: users}, 1e-12)
+		if d.Jaccard() != 1 || len(d.PrefixesAppeared)+len(d.PrefixesVanished)+len(d.ActivityShifts) != 0 {
+			t.Errorf("seed %d: diff against re-imported map not empty", seed)
+		}
 	}
 }
 

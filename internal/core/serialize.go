@@ -51,9 +51,11 @@ type MappingDocument struct {
 
 const mapDocVersion = 1
 
-// Export writes the map's measured components as JSON.
-func (m *TrafficMap) Export(w io.Writer) error {
-	doc := MapDocument{
+// Document builds the serialized form of the map's measured components.
+// The result is already normalized (see Normalize), so exporting it is
+// deterministic.
+func (m *TrafficMap) Document() *MapDocument {
+	doc := &MapDocument{
 		Version:        mapDocVersion,
 		PrefixHitRates: map[string]float64{},
 		ASActivity:     map[string]float64{},
@@ -106,12 +108,7 @@ func (m *TrafficMap) Export(w io.Writer) error {
 	for k := range m.Services.Mapping {
 		keys = append(keys, k)
 	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].Domain != keys[j].Domain {
-			return keys[i].Domain < keys[j].Domain
-		}
-		return keys[i].ClientAS < keys[j].ClientAS
-	})
+	sort.Slice(keys, func(i, j int) bool { return keys[i].Compare(keys[j]) < 0 })
 	for _, k := range keys {
 		doc.Mappings = append(doc.Mappings, MappingDocument{
 			Domain:   k.Domain,
@@ -119,6 +116,77 @@ func (m *TrafficMap) Export(w io.Writer) error {
 			Serving:  m.Services.Mapping[k].String(),
 		})
 	}
+	doc.Normalize()
+	return doc
+}
+
+// Export writes the map's measured components as JSON.
+func (m *TrafficMap) Export(w io.Writer) error {
+	return m.Document().Export(w)
+}
+
+// Normalize puts a document into its canonical form, so that two documents
+// with the same content export byte-identically no matter how they were
+// produced (built from a TrafficMap, imported from JSON, or decoded from
+// the binary codec): required maps are non-nil, optional maps
+// (Coverage/ASConfidence) are nil when empty — matching their omitempty
+// export — and slices are sorted (prefixes numerically where parseable,
+// servers by prefix then host AS, mappings by domain then client AS).
+func (doc *MapDocument) Normalize() {
+	if doc.PrefixHitRates == nil {
+		doc.PrefixHitRates = map[string]float64{}
+	}
+	if doc.ASActivity == nil {
+		doc.ASActivity = map[string]float64{}
+	}
+	if doc.Sources == nil {
+		doc.Sources = map[string]string{}
+	}
+	if len(doc.Coverage) == 0 {
+		doc.Coverage = nil
+	}
+	if len(doc.ASConfidence) == 0 {
+		doc.ASConfidence = nil
+	}
+	sort.Slice(doc.ActivePrefixes, func(i, j int) bool {
+		return prefixLess(doc.ActivePrefixes[i], doc.ActivePrefixes[j])
+	})
+	sort.Slice(doc.Servers, func(i, j int) bool {
+		a, b := &doc.Servers[i], &doc.Servers[j]
+		if a.Prefix != b.Prefix {
+			return prefixLess(a.Prefix, b.Prefix)
+		}
+		if a.HostAS != b.HostAS {
+			return a.HostAS < b.HostAS
+		}
+		return a.Org < b.Org
+	})
+	sort.Slice(doc.Mappings, func(i, j int) bool {
+		a, b := &doc.Mappings[i], &doc.Mappings[j]
+		if a.Domain != b.Domain {
+			return a.Domain < b.Domain
+		}
+		return a.ClientAS < b.ClientAS
+	})
+}
+
+// prefixLess orders CIDR strings by numeric prefix ID where both parse
+// (lexicographic order would put 10.0.0.0/24 before 2.0.0.0/24), falling
+// back to string order so unparseable inputs still sort deterministically.
+func prefixLess(a, b string) bool {
+	pa, ea := ParsePrefix(a)
+	pb, eb := ParsePrefix(b)
+	if ea == nil && eb == nil {
+		return pa < pb
+	}
+	return a < b
+}
+
+// Export writes the document as indented JSON, normalizing first. JSON map
+// keys are emitted in sorted order by encoding/json, so the bytes are a
+// pure function of the document's content.
+func (doc *MapDocument) Export(w io.Writer) error {
+	doc.Normalize()
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(doc)
@@ -231,6 +299,10 @@ func ImportUsers(doc *MapDocument) (UsersComponent, error) {
 	return uc, nil
 }
 
+// ParsePrefix parses a /24 in CIDR notation (the form PrefixID.String
+// emits) back to its dense ID.
+func ParsePrefix(s string) (topology.PrefixID, error) { return parsePrefix(s) }
+
 func parsePrefix(s string) (topology.PrefixID, error) {
 	var a, b, c, bits int
 	if _, err := fmt.Sscanf(s, "%d.%d.%d.0/%d", &a, &b, &c, &bits); err != nil {
@@ -238,6 +310,9 @@ func parsePrefix(s string) (topology.PrefixID, error) {
 	}
 	if bits != 24 {
 		return 0, fmt.Errorf("core: prefix %q is not a /24", s)
+	}
+	if a < 0 || a > 255 || b < 0 || b > 255 || c < 0 || c > 255 {
+		return 0, fmt.Errorf("core: prefix %q has an out-of-range octet", s)
 	}
 	return topology.PrefixID(a<<16 | b<<8 | c), nil
 }

@@ -480,5 +480,6 @@ func (e *Env) RunAll() []*Result {
 		e.RunE22(),
 		e.RunE23(),
 		e.RunE24(),
+		e.RunE25(),
 	}
 }

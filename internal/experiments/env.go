@@ -47,6 +47,9 @@ type Env struct {
 	DiscoveryStart simtime.Time
 	// DiscoveryRounds is how many times per day discovery re-probes.
 	DiscoveryRounds int
+	// CrawlDayIndex selects which simulated day the root-log crawl
+	// covers (shift together with DiscoveryStart for multi-epoch runs).
+	CrawlDayIndex int
 	// HitRateInterval is the Figure 2 probing cadence.
 	HitRateInterval simtime.Time
 	// MatrixWorkers bounds the goroutines building the ground-truth
@@ -139,7 +142,7 @@ func (e *Env) Crawl() *rootlogs.Crawl {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.crawl == nil {
-		e.crawl = rootlogs.CrawlDay(e.W.Roots, e.W.Traffic, 0)
+		e.crawl = rootlogs.CrawlDay(e.W.Roots, e.W.Traffic, e.CrawlDayIndex)
 	}
 	return e.crawl
 }

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"itmap/internal/mapstore"
+	"itmap/internal/simtime"
+	"itmap/internal/world"
+)
+
+// EpochEnvs prepares one measurement environment per simulated day. Day d's
+// discovery sweep starts at d·24h and its root-log crawl covers day d, so
+// consecutive maps see the world's diurnal drift. Campaigns whose outputs
+// are time-invariant (TLS scan, hit rates, collector view, observed
+// topology) are computed once on day 0 and shared, mirroring how a real
+// operator would reuse an Internet-wide scan across daily map refreshes.
+func EpochEnvs(w *world.World, days, workers int) []*Env {
+	if days < 1 {
+		days = 1
+	}
+	envs := make([]*Env, days)
+	base := NewEnvFromWorld(w)
+	base.MatrixWorkers = workers
+	envs[0] = base
+	if days == 1 {
+		return envs
+	}
+	scan := base.Scan()
+	hr := base.HitRates()
+	col := base.Collector()
+	links := base.ObservedLinks()
+	obs := base.Observed()
+	for d := 1; d < days; d++ {
+		e := NewEnvFromWorld(w)
+		e.MatrixWorkers = workers
+		e.DiscoveryStart = simtime.Time(d) * simtime.Day
+		e.CrawlDayIndex = d
+		e.scan = scan
+		e.hitRates = hr
+		e.collector = col
+		e.obsLinks = links
+		e.observed = obs
+		envs[d] = e
+	}
+	return envs
+}
+
+// BuildEpochStore runs a multi-day measurement campaign over w and ingests
+// each day's assembled map into an epoch-versioned store, attaching the
+// ground-truth matrix so link-load queries resolve. workers bounds the
+// matrix build's parallelism; the resulting store (epoch bytes, diffs,
+// rankings) is identical for every setting.
+func BuildEpochStore(w *world.World, days, workers int) (*mapstore.Store, error) {
+	envs := EpochEnvs(w, days, workers)
+	mx := envs[0].Matrix()
+	st := mapstore.NewStore()
+	for d, e := range envs {
+		if _, err := st.AppendMap(simtime.Time(d)*simtime.Day, e.Map(), mx); err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}

@@ -13,8 +13,8 @@ var envSmall = NewEnv(world.Small(1))
 
 func TestRunAllShapesHold(t *testing.T) {
 	results := envSmall.RunAll()
-	if len(results) != 28 {
-		t.Fatalf("expected 28 experiments, got %d", len(results))
+	if len(results) != 29 {
+		t.Fatalf("expected 29 experiments, got %d", len(results))
 	}
 	seen := map[string]bool{}
 	for _, r := range results {
@@ -30,7 +30,7 @@ func TestRunAllShapesHold(t *testing.T) {
 		}
 	}
 	ids := []string{"T1", "F1a", "F1b", "F2", "E1", "E2", "E3", "E4", "E5",
-		"E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20", "E21", "E22", "E23", "E24"}
+		"E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20", "E21", "E22", "E23", "E24", "E25"}
 	for _, id := range ids {
 		if !seen[id] {
 			t.Errorf("experiment %s missing", id)

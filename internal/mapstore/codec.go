@@ -1,0 +1,761 @@
+// Package mapstore is the serving layer over the toolkit's traffic maps:
+// a compact deterministic binary codec for core.MapDocument, an in-memory
+// epoch-versioned store with copy-on-write ingestion (readers never block
+// writers), and a query engine (top-K activity, per-AS views, link loads,
+// epoch-to-epoch diffs) that cmd/itm-serve exposes over HTTP.
+package mapstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+
+	"itmap/internal/core"
+	"itmap/internal/topology"
+)
+
+// Wire format (all integers are unsigned varints unless noted; floats are
+// 8-byte little-endian IEEE 754 bit patterns):
+//
+//	header    magic "ITMB" | codec version (1) | document version
+//	strings   count | count × (len | raw bytes)      sorted unique strings
+//	actives   count | delta-encoded sorted prefix IDs (first absolute,
+//	          then strictly positive deltas)
+//	hitrates  count | count × (prefix delta | float) sorted by prefix
+//	activity  count | count × (ASN delta | float)    sorted by ASN
+//	sources   count | count × (ASN delta | code byte)
+//	coverage  count | count × (prefix delta | code byte)
+//	confid    count | count × (ASN delta | float)
+//	servers   count | count × (prefix | host AS | owner AS |
+//	          org ref | city ref | country ref)      sorted by field tuple
+//	mappings  count | count × (domain ref | client AS | serving prefix)
+//	          sorted by (domain, client AS)
+//
+// Every section is sorted and every string interned through one sorted
+// table, so the encoding of a document is a pure function of its content:
+// decode followed by re-encode is byte-identical, which the store relies
+// on for structural sharing and E25 relies on for cross-worker parity.
+
+// Magic identifies an encoded map document.
+var Magic = [4]byte{'I', 'T', 'M', 'B'}
+
+// CodecVersion is the wire-format version this package reads and writes.
+const CodecVersion = 1
+
+// Typed decode errors. Decoding never panics: corrupted, truncated, or
+// oversized inputs surface one of these (possibly wrapped with section
+// context).
+var (
+	// ErrMagic: the input does not start with the ITMB magic.
+	ErrMagic = errors.New("mapstore: bad magic")
+	// ErrVersion: the codec or document version is unsupported.
+	ErrVersion = errors.New("mapstore: unsupported version")
+	// ErrTruncated: the input ends before a section completes.
+	ErrTruncated = errors.New("mapstore: truncated input")
+	// ErrCorrupt: the input decodes to something non-canonical (unsorted
+	// entries, out-of-range values, dangling string refs, trailing bytes).
+	ErrCorrupt = errors.New("mapstore: corrupt input")
+	// ErrEncode: the document holds values the wire format cannot carry
+	// (unparseable prefix/ASN keys, unknown source or coverage labels).
+	ErrEncode = errors.New("mapstore: unencodable document")
+)
+
+// Source and coverage labels get one code byte each. Index = wire code.
+var (
+	sourceCodes   = []string{"unknown", "cache-probe", "root-logs", "cache-probe+root-logs"}
+	coverageCodes = []string{"unknown", "probed-ok", "gave-up", "stale"}
+)
+
+func codeOf(table []string, s string) (byte, bool) {
+	for i, v := range table {
+		if v == s {
+			return byte(i), true
+		}
+	}
+	return 0, false
+}
+
+const maxPrefixID = 1<<24 - 1
+
+// --- encoding ---------------------------------------------------------------
+
+type encoder struct {
+	buf []byte
+}
+
+func (e *encoder) uvarint(v uint64) { e.buf = binary.AppendUvarint(e.buf, v) }
+func (e *encoder) byte(b byte)      { e.buf = append(e.buf, b) }
+func (e *encoder) float(f float64) {
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, math.Float64bits(f))
+}
+func (e *encoder) raw(b []byte) { e.buf = append(e.buf, b...) }
+
+// prefixEntry is one (prefix, payload) pair of a prefix-keyed section.
+type prefixEntry struct {
+	p topology.PrefixID
+	f float64
+	c byte
+}
+
+// asnEntry is one (ASN, payload) pair of an ASN-keyed section.
+type asnEntry struct {
+	asn uint32
+	f   float64
+	c   byte
+}
+
+func parseASN(s string) (uint32, error) {
+	v, err := strconv.ParseUint(s, 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("%w: bad ASN key %q", ErrEncode, s)
+	}
+	return uint32(v), nil
+}
+
+func parseDocPrefix(s string) (topology.PrefixID, error) {
+	p, err := core.ParsePrefix(s)
+	if err != nil {
+		return 0, fmt.Errorf("%w: bad prefix key %q", ErrEncode, s)
+	}
+	return p, nil
+}
+
+// EncodeDocument serializes a map document into the ITMB wire format. The
+// input is not mutated; entries are sorted into canonical order during
+// encoding, so the output bytes are a pure function of the document's
+// content.
+func EncodeDocument(doc *core.MapDocument) ([]byte, error) {
+	if doc == nil {
+		return nil, fmt.Errorf("%w: nil document", ErrEncode)
+	}
+	e := &encoder{buf: make([]byte, 0, 1024)}
+	e.raw(Magic[:])
+	e.uvarint(CodecVersion)
+	if doc.Version < 0 {
+		return nil, fmt.Errorf("%w: negative document version", ErrEncode)
+	}
+	e.uvarint(uint64(doc.Version))
+
+	// String table: every server org/city/country and mapping domain,
+	// deduplicated and sorted.
+	seen := map[string]bool{}
+	for i := range doc.Servers {
+		seen[doc.Servers[i].Org] = true
+		seen[doc.Servers[i].City] = true
+		seen[doc.Servers[i].Country] = true
+	}
+	for i := range doc.Mappings {
+		seen[doc.Mappings[i].Domain] = true
+	}
+	table := make([]string, 0, len(seen))
+	for s := range seen {
+		table = append(table, s)
+	}
+	sort.Strings(table)
+	ref := make(map[string]uint64, len(table))
+	for i, s := range table {
+		ref[s] = uint64(i)
+	}
+	e.uvarint(uint64(len(table)))
+	for _, s := range table {
+		e.uvarint(uint64(len(s)))
+		e.raw([]byte(s))
+	}
+
+	// Active prefixes.
+	actives := make([]topology.PrefixID, 0, len(doc.ActivePrefixes))
+	for _, s := range doc.ActivePrefixes {
+		p, err := parseDocPrefix(s)
+		if err != nil {
+			return nil, err
+		}
+		actives = append(actives, p)
+	}
+	sort.Slice(actives, func(i, j int) bool { return actives[i] < actives[j] })
+	for i := 1; i < len(actives); i++ {
+		if actives[i] == actives[i-1] {
+			return nil, fmt.Errorf("%w: duplicate active prefix %v", ErrEncode, actives[i])
+		}
+	}
+	e.uvarint(uint64(len(actives)))
+	prev := topology.PrefixID(0)
+	for i, p := range actives {
+		if i == 0 {
+			e.uvarint(uint64(p))
+		} else {
+			e.uvarint(uint64(p - prev))
+		}
+		prev = p
+	}
+
+	// Prefix-keyed float and code sections.
+	if err := e.prefixFloats(doc.PrefixHitRates); err != nil {
+		return nil, err
+	}
+	if err := e.asnFloats(doc.ASActivity); err != nil {
+		return nil, err
+	}
+	if err := e.asnCodes(doc.Sources, sourceCodes, "source"); err != nil {
+		return nil, err
+	}
+	if err := e.prefixCodes(doc.Coverage, coverageCodes, "coverage"); err != nil {
+		return nil, err
+	}
+	if err := e.asnFloats(doc.ASConfidence); err != nil {
+		return nil, err
+	}
+
+	// Servers, sorted by the full field tuple so ties on prefix still
+	// have one canonical order.
+	servers := make([]core.ServerDocument, len(doc.Servers))
+	copy(servers, doc.Servers)
+	sort.Slice(servers, func(i, j int) bool { return serverTupleLess(&servers[i], &servers[j]) })
+	e.uvarint(uint64(len(servers)))
+	for i := range servers {
+		s := &servers[i]
+		p, err := parseDocPrefix(s.Prefix)
+		if err != nil {
+			return nil, err
+		}
+		e.uvarint(uint64(p))
+		e.uvarint(uint64(s.HostAS))
+		e.uvarint(uint64(s.OwnerAS))
+		e.uvarint(ref[s.Org])
+		e.uvarint(ref[s.City])
+		e.uvarint(ref[s.Country])
+	}
+
+	// Mappings, sorted by (domain, client AS); the key is unique, so
+	// canonical order is strictly ascending.
+	mappings := make([]core.MappingDocument, len(doc.Mappings))
+	copy(mappings, doc.Mappings)
+	sort.Slice(mappings, func(i, j int) bool {
+		a, b := &mappings[i], &mappings[j]
+		if a.Domain != b.Domain {
+			return a.Domain < b.Domain
+		}
+		return a.ClientAS < b.ClientAS
+	})
+	for i := 1; i < len(mappings); i++ {
+		if mappings[i].Domain == mappings[i-1].Domain && mappings[i].ClientAS == mappings[i-1].ClientAS {
+			return nil, fmt.Errorf("%w: duplicate mapping key (%s, %d)", ErrEncode, mappings[i].Domain, mappings[i].ClientAS)
+		}
+	}
+	e.uvarint(uint64(len(mappings)))
+	for i := range mappings {
+		m := &mappings[i]
+		p, err := parseDocPrefix(m.Serving)
+		if err != nil {
+			return nil, err
+		}
+		e.uvarint(ref[m.Domain])
+		e.uvarint(uint64(m.ClientAS))
+		e.uvarint(uint64(p))
+	}
+	return e.buf, nil
+}
+
+func serverTupleLess(a, b *core.ServerDocument) bool {
+	if a.Prefix != b.Prefix {
+		pa, ea := core.ParsePrefix(a.Prefix)
+		pb, eb := core.ParsePrefix(b.Prefix)
+		if ea == nil && eb == nil {
+			return pa < pb
+		}
+		return a.Prefix < b.Prefix
+	}
+	if a.HostAS != b.HostAS {
+		return a.HostAS < b.HostAS
+	}
+	if a.OwnerAS != b.OwnerAS {
+		return a.OwnerAS < b.OwnerAS
+	}
+	if a.Org != b.Org {
+		return a.Org < b.Org
+	}
+	if a.City != b.City {
+		return a.City < b.City
+	}
+	return a.Country < b.Country
+}
+
+func (e *encoder) prefixFloats(m map[string]float64) error {
+	entries := make([]prefixEntry, 0, len(m))
+	for s, v := range m {
+		p, err := parseDocPrefix(s)
+		if err != nil {
+			return err
+		}
+		entries = append(entries, prefixEntry{p: p, f: v})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].p < entries[j].p })
+	e.uvarint(uint64(len(entries)))
+	prev := topology.PrefixID(0)
+	for i, en := range entries {
+		if i == 0 {
+			e.uvarint(uint64(en.p))
+		} else {
+			e.uvarint(uint64(en.p - prev))
+		}
+		prev = en.p
+		e.float(en.f)
+	}
+	return nil
+}
+
+func (e *encoder) prefixCodes(m map[string]string, table []string, what string) error {
+	entries := make([]prefixEntry, 0, len(m))
+	for s, v := range m {
+		p, err := parseDocPrefix(s)
+		if err != nil {
+			return err
+		}
+		c, ok := codeOf(table, v)
+		if !ok {
+			return fmt.Errorf("%w: unknown %s label %q", ErrEncode, what, v)
+		}
+		entries = append(entries, prefixEntry{p: p, c: c})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].p < entries[j].p })
+	e.uvarint(uint64(len(entries)))
+	prev := topology.PrefixID(0)
+	for i, en := range entries {
+		if i == 0 {
+			e.uvarint(uint64(en.p))
+		} else {
+			e.uvarint(uint64(en.p - prev))
+		}
+		prev = en.p
+		e.byte(en.c)
+	}
+	return nil
+}
+
+func (e *encoder) asnFloats(m map[string]float64) error {
+	entries := make([]asnEntry, 0, len(m))
+	for s, v := range m {
+		asn, err := parseASN(s)
+		if err != nil {
+			return err
+		}
+		entries = append(entries, asnEntry{asn: asn, f: v})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].asn < entries[j].asn })
+	e.uvarint(uint64(len(entries)))
+	prev := uint32(0)
+	for i, en := range entries {
+		if i == 0 {
+			e.uvarint(uint64(en.asn))
+		} else {
+			e.uvarint(uint64(en.asn - prev))
+		}
+		prev = en.asn
+		e.float(en.f)
+	}
+	return nil
+}
+
+func (e *encoder) asnCodes(m map[string]string, table []string, what string) error {
+	entries := make([]asnEntry, 0, len(m))
+	for s, v := range m {
+		asn, err := parseASN(s)
+		if err != nil {
+			return err
+		}
+		c, ok := codeOf(table, v)
+		if !ok {
+			return fmt.Errorf("%w: unknown %s label %q", ErrEncode, what, v)
+		}
+		entries = append(entries, asnEntry{asn: asn, c: c})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].asn < entries[j].asn })
+	e.uvarint(uint64(len(entries)))
+	prev := uint32(0)
+	for i, en := range entries {
+		if i == 0 {
+			e.uvarint(uint64(en.asn))
+		} else {
+			e.uvarint(uint64(en.asn - prev))
+		}
+		prev = en.asn
+		e.byte(en.c)
+	}
+	return nil
+}
+
+// --- decoding ---------------------------------------------------------------
+
+type decoder struct {
+	buf []byte
+	pos int
+}
+
+func (d *decoder) remaining() int { return len(d.buf) - d.pos }
+
+func (d *decoder) uvarint(what string) (uint64, error) {
+	v, n := binary.Uvarint(d.buf[d.pos:])
+	if n <= 0 {
+		if n == 0 {
+			return 0, fmt.Errorf("%w: %s", ErrTruncated, what)
+		}
+		return 0, fmt.Errorf("%w: %s varint overflows", ErrCorrupt, what)
+	}
+	// Reject non-minimal encodings (a trailing 0x00 continuation group):
+	// the encoder always writes minimal varints, and accepting a redundant
+	// form would break decode→re-encode byte-identity.
+	if n > 1 && d.buf[d.pos+n-1] == 0 {
+		return 0, fmt.Errorf("%w: %s varint not minimal", ErrCorrupt, what)
+	}
+	d.pos += n
+	return v, nil
+}
+
+// count reads a section count and sanity-checks it against the bytes left:
+// each entry occupies at least minEntry bytes, so a count larger than
+// remaining/minEntry is an oversized-input attack, not a document.
+func (d *decoder) count(what string, minEntry int) (int, error) {
+	v, err := d.uvarint(what + " count")
+	if err != nil {
+		return 0, err
+	}
+	if minEntry < 1 {
+		minEntry = 1
+	}
+	if v > uint64(d.remaining()/minEntry) {
+		return 0, fmt.Errorf("%w: %s count %d exceeds input size", ErrCorrupt, what, v)
+	}
+	return int(v), nil
+}
+
+func (d *decoder) byteVal(what string) (byte, error) {
+	if d.remaining() < 1 {
+		return 0, fmt.Errorf("%w: %s", ErrTruncated, what)
+	}
+	b := d.buf[d.pos]
+	d.pos++
+	return b, nil
+}
+
+func (d *decoder) float(what string) (float64, error) {
+	if d.remaining() < 8 {
+		return 0, fmt.Errorf("%w: %s", ErrTruncated, what)
+	}
+	bits := binary.LittleEndian.Uint64(d.buf[d.pos:])
+	d.pos += 8
+	return math.Float64frombits(bits), nil
+}
+
+func (d *decoder) str(what string) (string, error) {
+	n, err := d.uvarint(what + " length")
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(d.remaining()) {
+		return "", fmt.Errorf("%w: %s", ErrTruncated, what)
+	}
+	s := string(d.buf[d.pos : d.pos+int(n)])
+	d.pos += int(n)
+	return s, nil
+}
+
+// deltaSeq reads a strictly ascending prefix/ASN sequence: first value
+// absolute, then positive deltas. max bounds the final values.
+func (d *decoder) deltaSeq(what string, n int, max uint64, visit func(i int, v uint64) error) error {
+	var cur uint64
+	for i := 0; i < n; i++ {
+		v, err := d.uvarint(what)
+		if err != nil {
+			return err
+		}
+		if i == 0 {
+			cur = v
+		} else {
+			if v == 0 {
+				return fmt.Errorf("%w: %s not strictly ascending", ErrCorrupt, what)
+			}
+			cur += v
+		}
+		if cur > max {
+			return fmt.Errorf("%w: %s value %d out of range", ErrCorrupt, what, cur)
+		}
+		if err := visit(i, cur); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DecodeDocument parses ITMB bytes back into a map document. The result is
+// canonical (sorted sections, nil empty optional maps), so re-encoding it
+// reproduces the input bytes exactly. Corrupted, truncated, or oversized
+// inputs return a typed error; decoding never panics.
+func DecodeDocument(data []byte) (*core.MapDocument, error) {
+	d := &decoder{buf: data}
+	if d.remaining() < len(Magic) {
+		return nil, fmt.Errorf("%w: input shorter than magic", ErrTruncated)
+	}
+	if string(d.buf[:len(Magic)]) != string(Magic[:]) {
+		return nil, ErrMagic
+	}
+	d.pos = len(Magic)
+	cv, err := d.uvarint("codec version")
+	if err != nil {
+		return nil, err
+	}
+	if cv != CodecVersion {
+		return nil, fmt.Errorf("%w: codec version %d", ErrVersion, cv)
+	}
+	dv, err := d.uvarint("document version")
+	if err != nil {
+		return nil, err
+	}
+	if dv > math.MaxInt32 {
+		return nil, fmt.Errorf("%w: document version %d", ErrVersion, dv)
+	}
+	doc := &core.MapDocument{
+		Version:        int(dv),
+		PrefixHitRates: map[string]float64{},
+		ASActivity:     map[string]float64{},
+		Sources:        map[string]string{},
+	}
+
+	// String table.
+	nStr, err := d.count("string table", 1)
+	if err != nil {
+		return nil, err
+	}
+	table := make([]string, nStr)
+	for i := range table {
+		s, err := d.str("string table entry")
+		if err != nil {
+			return nil, err
+		}
+		if i > 0 && s <= table[i-1] {
+			return nil, fmt.Errorf("%w: string table not strictly sorted", ErrCorrupt)
+		}
+		table[i] = s
+	}
+	used := make([]bool, len(table))
+	lookup := func(what string, idx uint64) (string, error) {
+		if idx >= uint64(len(table)) {
+			return "", fmt.Errorf("%w: %s string ref %d out of table", ErrCorrupt, what, idx)
+		}
+		used[idx] = true
+		return table[idx], nil
+	}
+
+	// Active prefixes.
+	n, err := d.count("active prefixes", 1)
+	if err != nil {
+		return nil, err
+	}
+	if n > 0 {
+		doc.ActivePrefixes = make([]string, 0, n)
+	}
+	err = d.deltaSeq("active prefix", n, maxPrefixID, func(_ int, v uint64) error {
+		doc.ActivePrefixes = append(doc.ActivePrefixes, topology.PrefixID(v).String())
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Prefix hit rates.
+	if n, err = d.count("prefix hit rates", 9); err != nil {
+		return nil, err
+	}
+	err = d.deltaSeq("hit-rate prefix", n, maxPrefixID, func(_ int, v uint64) error {
+		f, err := d.float("hit-rate value")
+		if err != nil {
+			return err
+		}
+		doc.PrefixHitRates[topology.PrefixID(v).String()] = f
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// AS activity.
+	if n, err = d.count("AS activity", 9); err != nil {
+		return nil, err
+	}
+	err = d.deltaSeq("activity ASN", n, math.MaxUint32, func(_ int, v uint64) error {
+		f, err := d.float("activity value")
+		if err != nil {
+			return err
+		}
+		doc.ASActivity[strconv.FormatUint(v, 10)] = f
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Sources.
+	if n, err = d.count("sources", 2); err != nil {
+		return nil, err
+	}
+	err = d.deltaSeq("source ASN", n, math.MaxUint32, func(_ int, v uint64) error {
+		c, err := d.byteVal("source code")
+		if err != nil {
+			return err
+		}
+		if int(c) >= len(sourceCodes) {
+			return fmt.Errorf("%w: source code %d", ErrCorrupt, c)
+		}
+		doc.Sources[strconv.FormatUint(v, 10)] = sourceCodes[c]
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Coverage.
+	if n, err = d.count("coverage", 2); err != nil {
+		return nil, err
+	}
+	if n > 0 {
+		doc.Coverage = make(map[string]string, n)
+	}
+	err = d.deltaSeq("coverage prefix", n, maxPrefixID, func(_ int, v uint64) error {
+		c, err := d.byteVal("coverage code")
+		if err != nil {
+			return err
+		}
+		if int(c) >= len(coverageCodes) {
+			return fmt.Errorf("%w: coverage code %d", ErrCorrupt, c)
+		}
+		doc.Coverage[topology.PrefixID(v).String()] = coverageCodes[c]
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// AS confidence.
+	if n, err = d.count("AS confidence", 9); err != nil {
+		return nil, err
+	}
+	if n > 0 {
+		doc.ASConfidence = make(map[string]float64, n)
+	}
+	err = d.deltaSeq("confidence ASN", n, math.MaxUint32, func(_ int, v uint64) error {
+		f, err := d.float("confidence value")
+		if err != nil {
+			return err
+		}
+		doc.ASConfidence[strconv.FormatUint(v, 10)] = f
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Servers.
+	if n, err = d.count("servers", 6); err != nil {
+		return nil, err
+	}
+	if n > 0 {
+		doc.Servers = make([]core.ServerDocument, 0, n)
+	}
+	for i := 0; i < n; i++ {
+		var s core.ServerDocument
+		p, err := d.uvarint("server prefix")
+		if err != nil {
+			return nil, err
+		}
+		if p > maxPrefixID {
+			return nil, fmt.Errorf("%w: server prefix %d out of range", ErrCorrupt, p)
+		}
+		s.Prefix = topology.PrefixID(p).String()
+		host, err := d.uvarint("server host AS")
+		if err != nil {
+			return nil, err
+		}
+		owner, err := d.uvarint("server owner AS")
+		if err != nil {
+			return nil, err
+		}
+		if host > math.MaxUint32 || owner > math.MaxUint32 {
+			return nil, fmt.Errorf("%w: server AS out of range", ErrCorrupt)
+		}
+		s.HostAS, s.OwnerAS = uint32(host), uint32(owner)
+		for _, f := range []struct {
+			what string
+			dst  *string
+		}{{"server org", &s.Org}, {"server city", &s.City}, {"server country", &s.Country}} {
+			idx, err := d.uvarint(f.what)
+			if err != nil {
+				return nil, err
+			}
+			if *f.dst, err = lookup(f.what, idx); err != nil {
+				return nil, err
+			}
+		}
+		if i > 0 {
+			prev := &doc.Servers[i-1]
+			if serverTupleLess(&s, prev) {
+				return nil, fmt.Errorf("%w: servers not in canonical order", ErrCorrupt)
+			}
+		}
+		doc.Servers = append(doc.Servers, s)
+	}
+
+	// Mappings.
+	if n, err = d.count("mappings", 3); err != nil {
+		return nil, err
+	}
+	if n > 0 {
+		doc.Mappings = make([]core.MappingDocument, 0, n)
+	}
+	var prevDom uint64
+	var prevAS uint32
+	for i := 0; i < n; i++ {
+		var m core.MappingDocument
+		dom, err := d.uvarint("mapping domain")
+		if err != nil {
+			return nil, err
+		}
+		if m.Domain, err = lookup("mapping domain", dom); err != nil {
+			return nil, err
+		}
+		cas, err := d.uvarint("mapping client AS")
+		if err != nil {
+			return nil, err
+		}
+		if cas > math.MaxUint32 {
+			return nil, fmt.Errorf("%w: mapping client AS out of range", ErrCorrupt)
+		}
+		m.ClientAS = uint32(cas)
+		p, err := d.uvarint("mapping serving prefix")
+		if err != nil {
+			return nil, err
+		}
+		if p > maxPrefixID {
+			return nil, fmt.Errorf("%w: mapping serving prefix out of range", ErrCorrupt)
+		}
+		m.Serving = topology.PrefixID(p).String()
+		if i > 0 && (dom < prevDom || (dom == prevDom && m.ClientAS <= prevAS)) {
+			return nil, fmt.Errorf("%w: mappings not in canonical order", ErrCorrupt)
+		}
+		prevDom, prevAS = dom, m.ClientAS
+		doc.Mappings = append(doc.Mappings, m)
+	}
+
+	if d.remaining() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, d.remaining())
+	}
+	// An unreferenced table entry would vanish on re-encode, breaking the
+	// decode→re-encode byte-identity the store's sharing checks rely on —
+	// canonical inputs never carry one.
+	for i, u := range used {
+		if !u {
+			return nil, fmt.Errorf("%w: unreferenced string table entry %d", ErrCorrupt, i)
+		}
+	}
+	return doc, nil
+}

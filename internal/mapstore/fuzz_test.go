@@ -1,0 +1,67 @@
+package mapstore
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"itmap/internal/core"
+)
+
+// corruptions returns the wire-level mutations real fuzzers find first:
+// truncations inside each section, bit flips in counts and deltas, and an
+// oversized count that must be rejected before allocation.
+func corruptions(enc []byte) [][]byte {
+	out := [][]byte{
+		enc[:0],
+		enc[:3],                                // shorter than magic
+		enc[:len(Magic)],                       // magic only
+		enc[:len(enc)/2],                       // mid-section truncation
+		enc[:len(enc)-1],                       // lost final byte
+		append(append([]byte(nil), enc...), 0), // trailing byte
+	}
+	flipped := append([]byte(nil), enc...)
+	flipped[len(Magic)+2] ^= 0x40 // string-table count
+	out = append(out, flipped)
+	huge := append([]byte(nil), Magic[:]...)
+	huge = append(huge, 1, 1, 0)
+	huge = append(huge, 0xff, 0xff, 0xff, 0xff, 0x7f) // absurd section count
+	return append(out, huge)
+}
+
+// FuzzDecodeMapDocument pins the codec's safety contract: arbitrary bytes
+// must never panic the decoder; anything it accepts must be a canonical
+// document, so re-encoding reproduces the input byte-for-byte.
+func FuzzDecodeMapDocument(f *testing.F) {
+	full, err := EncodeDocument(sampleDoc())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(full)
+	empty, err := EncodeDocument(&core.MapDocument{Version: 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(empty)
+	for _, c := range corruptions(full) {
+		f.Add(c)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		doc, err := DecodeDocument(data)
+		if err != nil {
+			if !errors.Is(err, ErrMagic) && !errors.Is(err, ErrVersion) &&
+				!errors.Is(err, ErrTruncated) && !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			return
+		}
+		re, err := EncodeDocument(doc)
+		if err != nil {
+			t.Fatalf("accepted document fails to re-encode: %v", err)
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatalf("decode→re-encode not byte-identical: %d vs %d bytes", len(re), len(data))
+		}
+	})
+}

@@ -1,0 +1,298 @@
+package mapstore
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"itmap/internal/core"
+	"itmap/internal/order"
+	"itmap/internal/simtime"
+	"itmap/internal/topology"
+)
+
+// buildIndexes derives the query-side structures from the canonical
+// document. Called once at ingest; everything it builds is immutable.
+func (e *Epoch) buildIndexes() error {
+	doc := e.Doc
+	e.activity = make(map[uint32]float64, len(doc.ASActivity))
+	for _, s := range order.Keys(doc.ASActivity) {
+		asn, err := strconv.ParseUint(s, 10, 32)
+		if err != nil {
+			return fmt.Errorf("mapstore: bad ASN key %q: %w", s, err)
+		}
+		v := doc.ASActivity[s]
+		e.activity[uint32(asn)] = v
+		e.totalAct += v
+	}
+	e.ranked = make([]ASRank, 0, len(e.activity))
+	for _, asn := range order.Keys(e.activity) {
+		r := ASRank{ASN: asn, Activity: e.activity[asn]}
+		if e.totalAct > 0 {
+			r.Share = r.Activity / e.totalAct
+		}
+		e.ranked = append(e.ranked, r)
+	}
+	sort.SliceStable(e.ranked, func(i, j int) bool {
+		if e.ranked[i].Activity != e.ranked[j].Activity {
+			return e.ranked[i].Activity > e.ranked[j].Activity
+		}
+		return e.ranked[i].ASN < e.ranked[j].ASN
+	})
+
+	e.sources = make(map[uint32]string, len(doc.Sources))
+	for _, s := range order.Keys(doc.Sources) {
+		asn, err := strconv.ParseUint(s, 10, 32)
+		if err != nil {
+			return fmt.Errorf("mapstore: bad ASN key %q: %w", s, err)
+		}
+		e.sources[uint32(asn)] = doc.Sources[s]
+	}
+	e.confidence = make(map[uint32]float64, len(doc.ASConfidence))
+	for _, s := range order.Keys(doc.ASConfidence) {
+		asn, err := strconv.ParseUint(s, 10, 32)
+		if err != nil {
+			return fmt.Errorf("mapstore: bad ASN key %q: %w", s, err)
+		}
+		e.confidence[uint32(asn)] = doc.ASConfidence[s]
+	}
+
+	e.serverAt = make(map[string]int, len(doc.Servers))
+	for i := range doc.Servers {
+		// First entry wins on (theoretical) duplicate prefixes; servers
+		// are sorted, so "first" is canonical.
+		if _, ok := e.serverAt[doc.Servers[i].Prefix]; !ok {
+			e.serverAt[doc.Servers[i].Prefix] = i
+		}
+	}
+	e.mappingsBy = make(map[uint32][]int)
+	e.hostPop = map[uint32]int{}
+	for i := range doc.Mappings {
+		m := &doc.Mappings[i]
+		e.mappingsBy[m.ClientAS] = append(e.mappingsBy[m.ClientAS], i)
+		if si, ok := e.serverAt[m.Serving]; ok {
+			e.hostPop[doc.Servers[si].HostAS]++
+		}
+	}
+	return nil
+}
+
+// Info is one epoch's metadata line.
+type Info struct {
+	ID             int          `json:"id"`
+	At             simtime.Time `json:"at_hours"`
+	ActivePrefixes int          `json:"active_prefixes"`
+	ASes           int          `json:"ases"`
+	Servers        int          `json:"servers"`
+	Mappings       int          `json:"mappings"`
+	EncodedBytes   int          `json:"encoded_bytes"`
+	SharedSections int          `json:"shared_sections"`
+}
+
+// Info summarizes the epoch.
+func (e *Epoch) Info() Info {
+	return Info{
+		ID:             e.ID,
+		At:             e.At,
+		ActivePrefixes: len(e.Doc.ActivePrefixes),
+		ASes:           len(e.Doc.ASActivity),
+		Servers:        len(e.Doc.Servers),
+		Mappings:       len(e.Doc.Mappings),
+		EncodedBytes:   len(e.Encoded),
+		SharedSections: e.SharedSections,
+	}
+}
+
+// Infos lists every epoch's metadata, oldest first.
+func (s *Store) Infos() []Info {
+	es := s.Snapshot()
+	out := make([]Info, len(es))
+	for i, e := range es {
+		out[i] = e.Info()
+	}
+	return out
+}
+
+// TopASes returns the k most active ASes of the epoch (activity
+// descending, ASN ascending on ties).
+func (e *Epoch) TopASes(k int) []ASRank {
+	if k < 0 {
+		k = 0
+	}
+	if k > len(e.ranked) {
+		k = len(e.ranked)
+	}
+	return e.ranked[:k:k]
+}
+
+// ServiceMapping is one user→host mapping entry enriched with the serving
+// side's scan metadata and a popularity proxy.
+type ServiceMapping struct {
+	Domain        string `json:"domain"`
+	ServingPrefix string `json:"serving_prefix"`
+	HostAS        uint32 `json:"host_as,omitempty"`
+	Org           string `json:"org,omitempty"`
+	// HostClients counts how many client ASes across the whole map are
+	// served by the same host AS — the ranking signal for top-K.
+	HostClients int `json:"host_clients"`
+}
+
+// ASView is the per-AS answer: activity, provenance, and the AS's top
+// service mappings.
+type ASView struct {
+	ASN           uint32           `json:"asn"`
+	Epoch         int              `json:"epoch"`
+	Activity      float64          `json:"activity"`
+	Share         float64          `json:"share"`
+	Source        string           `json:"source,omitempty"`
+	Confidence    *float64         `json:"confidence,omitempty"`
+	Services      []ServiceMapping `json:"services,omitempty"`
+	TotalServices int              `json:"total_services"`
+}
+
+// ASView assembles the per-AS view with the AS's top-k service mappings,
+// ranked by how many client ASes the serving host covers (most popular
+// first; domain name breaks ties).
+func (e *Epoch) ASView(asn uint32, k int) (ASView, bool) {
+	act, hasAct := e.activity[asn]
+	src, hasSrc := e.sources[asn]
+	idxs := e.mappingsBy[asn]
+	if !hasAct && !hasSrc && len(idxs) == 0 {
+		return ASView{}, false
+	}
+	v := ASView{ASN: asn, Epoch: e.ID, Activity: act, Source: src, TotalServices: len(idxs)}
+	if e.totalAct > 0 {
+		v.Share = act / e.totalAct
+	}
+	if c, ok := e.confidence[asn]; ok {
+		v.Confidence = &c
+	}
+	svcs := make([]ServiceMapping, 0, len(idxs))
+	for _, i := range idxs {
+		m := &e.Doc.Mappings[i]
+		sm := ServiceMapping{Domain: m.Domain, ServingPrefix: m.Serving}
+		if si, ok := e.serverAt[m.Serving]; ok {
+			sm.HostAS = e.Doc.Servers[si].HostAS
+			sm.Org = e.Doc.Servers[si].Org
+			sm.HostClients = e.hostPop[sm.HostAS]
+		}
+		svcs = append(svcs, sm)
+	}
+	sort.SliceStable(svcs, func(i, j int) bool {
+		if svcs[i].HostClients != svcs[j].HostClients {
+			return svcs[i].HostClients > svcs[j].HostClients
+		}
+		return svcs[i].Domain < svcs[j].Domain
+	})
+	if k >= 0 && k < len(svcs) {
+		svcs = svcs[:k:k]
+	}
+	v.Services = svcs
+	return v, true
+}
+
+// EpochValue is one epoch's scalar in a longitudinal series.
+type EpochValue struct {
+	Epoch    int          `json:"epoch"`
+	At       simtime.Time `json:"at_hours"`
+	Activity float64      `json:"activity"`
+	Share    float64      `json:"share"`
+}
+
+// ASActivitySeries tracks one AS's activity across every epoch — the
+// longitudinal view the paper's "Daily" refresh target implies.
+func (s *Store) ASActivitySeries(asn uint32) []EpochValue {
+	es := s.Snapshot()
+	out := make([]EpochValue, len(es))
+	for i, e := range es {
+		out[i] = EpochValue{Epoch: e.ID, At: e.At, Activity: e.activity[asn]}
+		if e.totalAct > 0 {
+			out[i].Share = out[i].Activity / e.totalAct
+		}
+	}
+	return out
+}
+
+// LinkLoad returns the epoch's ground-truth daily bytes over the a–b
+// inter-AS link, preferring the dense matrix views. ok is false when the
+// epoch carries no matrix snapshot or the link is unknown.
+func (e *Epoch) LinkLoad(a, b uint32) (float64, bool) {
+	if e.mx == nil {
+		return 0, false
+	}
+	ka, kb := topology.ASN(a), topology.ASN(b)
+	if e.mx.Links != nil && e.mx.LinkLoadDense != nil && e.top != nil {
+		ia, oka := e.top.Index(ka)
+		ib, okb := e.top.Index(kb)
+		if oka && okb {
+			if id := e.mx.Links.IDBetween(ia, ib); id >= 0 {
+				return e.mx.LinkLoadDense[id], true
+			}
+		}
+		return 0, false
+	}
+	v, ok := e.mx.LinkLoad[topology.MakeLinkKey(ka, kb)]
+	return v, ok
+}
+
+// DiffDocument is the serializable epoch-to-epoch diff, derived via
+// core.DiffMaps over the two epochs' users components. All slices are
+// sorted, so marshaling it is deterministic.
+type DiffDocument struct {
+	EpochA         int          `json:"epoch_a"`
+	EpochB         int          `json:"epoch_b"`
+	AtA            simtime.Time `json:"at_a_hours"`
+	AtB            simtime.Time `json:"at_b_hours"`
+	StablePrefixes int          `json:"stable_prefixes"`
+	Appeared       []string     `json:"appeared"`
+	Vanished       []string     `json:"vanished"`
+	Jaccard        float64      `json:"jaccard"`
+	Shifts         []ShiftEntry `json:"shifts"`
+}
+
+// ShiftEntry is one AS's activity-share change.
+type ShiftEntry struct {
+	ASN    uint32  `json:"asn"`
+	Before float64 `json:"before"`
+	After  float64 `json:"after"`
+	Delta  float64 `json:"delta"`
+}
+
+// Diff compares two epochs' users components. minShift filters the
+// activity shifts worth reporting (absolute share change).
+func (s *Store) Diff(a, b int, minShift float64) (*DiffDocument, error) {
+	ea, ok := s.Epoch(a)
+	if !ok {
+		return nil, fmt.Errorf("mapstore: no epoch %d", a)
+	}
+	eb, ok := s.Epoch(b)
+	if !ok {
+		return nil, fmt.Errorf("mapstore: no epoch %d", b)
+	}
+	ma := &core.TrafficMap{Users: ea.users}
+	mb := &core.TrafficMap{Users: eb.users}
+	d := core.DiffMaps(ma, mb, minShift)
+	out := &DiffDocument{
+		EpochA:         a,
+		EpochB:         b,
+		AtA:            ea.At,
+		AtB:            eb.At,
+		StablePrefixes: d.StablePrefixes,
+		Jaccard:        d.Jaccard(),
+		Appeared:       make([]string, 0, len(d.PrefixesAppeared)),
+		Vanished:       make([]string, 0, len(d.PrefixesVanished)),
+		Shifts:         make([]ShiftEntry, 0, len(d.ActivityShifts)),
+	}
+	for _, p := range d.PrefixesAppeared {
+		out.Appeared = append(out.Appeared, p.String())
+	}
+	for _, p := range d.PrefixesVanished {
+		out.Vanished = append(out.Vanished, p.String())
+	}
+	for _, sh := range d.ActivityShifts {
+		out.Shifts = append(out.Shifts, ShiftEntry{
+			ASN: uint32(sh.ASN), Before: sh.Before, After: sh.After, Delta: sh.Delta(),
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,225 @@
+package mapstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// NewHandler exposes the store's query engine as an HTTP JSON API:
+//
+//	GET /healthz                  liveness + epoch count
+//	GET /v1/epochs                epoch metadata, oldest first
+//	GET /v1/map/{epoch}           full map document (?format=binary → ITMB)
+//	GET /v1/top?epoch=&k=         top-K ASes by activity
+//	GET /v1/as/{asn}?epoch=&k=    per-AS view + longitudinal series
+//	GET /v1/diff/{a}/{b}?min_shift=  epoch-to-epoch diff
+//	GET /v1/link/{a}/{b}?epoch=   ground-truth link load (if ingested)
+//
+// The handler only reads store snapshots, so it serves concurrently with
+// ingestion without locking. Responses are deterministic for a given store
+// state: every slice the query layer returns is sorted.
+func NewHandler(s *Store) http.Handler {
+	h := &handler{s: s}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", h.healthz)
+	mux.HandleFunc("GET /v1/epochs", h.epochs)
+	mux.HandleFunc("GET /v1/map/{epoch}", h.mapDoc)
+	mux.HandleFunc("GET /v1/top", h.top)
+	mux.HandleFunc("GET /v1/as/{asn}", h.asView)
+	mux.HandleFunc("GET /v1/diff/{a}/{b}", h.diff)
+	mux.HandleFunc("GET /v1/link/{a}/{b}", h.link)
+	return mux
+}
+
+type handler struct {
+	s *Store
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // network write failures have no recovery path here
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// epochParam resolves the optional ?epoch= selector (default: latest).
+func (h *handler) epochParam(r *http.Request) (*Epoch, error) {
+	q := r.URL.Query().Get("epoch")
+	if q == "" {
+		e := h.s.Latest()
+		if e == nil {
+			return nil, fmt.Errorf("store has no epochs")
+		}
+		return e, nil
+	}
+	id, err := strconv.Atoi(q)
+	if err != nil {
+		return nil, fmt.Errorf("bad epoch %q", q)
+	}
+	e, ok := h.s.Epoch(id)
+	if !ok {
+		return nil, fmt.Errorf("no epoch %d", id)
+	}
+	return e, nil
+}
+
+func intParam(r *http.Request, name string, def int) (int, error) {
+	q := r.URL.Query().Get(name)
+	if q == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(q)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s %q", name, q)
+	}
+	return v, nil
+}
+
+func pathASN(r *http.Request, name string) (uint32, error) {
+	raw := r.PathValue(name)
+	v, err := strconv.ParseUint(raw, 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad ASN %q", raw)
+	}
+	return uint32(v), nil
+}
+
+func (h *handler) healthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Status string `json:"status"`
+		Epochs int    `json:"epochs"`
+	}{Status: "ok", Epochs: h.s.Len()})
+}
+
+func (h *handler) epochs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Epochs []Info `json:"epochs"`
+	}{Epochs: h.s.Infos()})
+}
+
+func (h *handler) mapDoc(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("epoch"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad epoch %q", r.PathValue("epoch"))
+		return
+	}
+	e, ok := h.s.Epoch(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no epoch %d", id)
+		return
+	}
+	switch f := r.URL.Query().Get("format"); f {
+	case "", "json":
+		writeJSON(w, http.StatusOK, e.Doc)
+	case "binary":
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(e.Encoded)
+	default:
+		writeErr(w, http.StatusBadRequest, "unknown format %q", f)
+	}
+}
+
+func (h *handler) top(w http.ResponseWriter, r *http.Request) {
+	e, err := h.epochParam(r)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	k, err := intParam(r, "k", 10)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Epoch int      `json:"epoch"`
+		Top   []ASRank `json:"top"`
+	}{Epoch: e.ID, Top: e.TopASes(k)})
+}
+
+func (h *handler) asView(w http.ResponseWriter, r *http.Request) {
+	asn, err := pathASN(r, "asn")
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	e, err := h.epochParam(r)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	k, err := intParam(r, "k", 10)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	v, ok := e.ASView(asn, k)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "AS %d not in epoch %d", asn, e.ID)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		ASView
+		Series []EpochValue `json:"series"`
+	}{ASView: v, Series: h.s.ASActivitySeries(asn)})
+}
+
+func (h *handler) diff(w http.ResponseWriter, r *http.Request) {
+	a, errA := strconv.Atoi(r.PathValue("a"))
+	b, errB := strconv.Atoi(r.PathValue("b"))
+	if errA != nil || errB != nil {
+		writeErr(w, http.StatusBadRequest, "bad epoch pair %q/%q", r.PathValue("a"), r.PathValue("b"))
+		return
+	}
+	minShift := 0.01
+	if q := r.URL.Query().Get("min_shift"); q != "" {
+		v, err := strconv.ParseFloat(q, 64)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "bad min_shift %q", q)
+			return
+		}
+		minShift = v
+	}
+	d, err := h.s.Diff(a, b, minShift)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, d)
+}
+
+func (h *handler) link(w http.ResponseWriter, r *http.Request) {
+	a, errA := pathASN(r, "a")
+	b, errB := pathASN(r, "b")
+	if errA != nil || errB != nil {
+		writeErr(w, http.StatusBadRequest, "bad AS pair %q/%q", r.PathValue("a"), r.PathValue("b"))
+		return
+	}
+	e, err := h.epochParam(r)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	load, ok := e.LinkLoad(a, b)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no link load for %d-%d in epoch %d", a, b, e.ID)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Epoch      int     `json:"epoch"`
+		A          uint32  `json:"a"`
+		B          uint32  `json:"b"`
+		DailyBytes float64 `json:"daily_bytes"`
+	}{Epoch: e.ID, A: a, B: b, DailyBytes: load})
+}

@@ -1,0 +1,207 @@
+package mapstore
+
+import (
+	"fmt"
+	"maps"
+	"slices"
+	"sync"
+	"sync/atomic"
+
+	"itmap/internal/core"
+	"itmap/internal/simtime"
+	"itmap/internal/topology"
+	"itmap/internal/traffic"
+)
+
+// Epoch is one immutable version of the traffic map: a measurement sweep's
+// document plus the derived indexes queries need. Nothing in an Epoch is
+// mutated after Append returns, so readers share it freely.
+type Epoch struct {
+	// ID is the epoch's position in the store (0-based, dense).
+	ID int
+	// At is the simulated time the sweep behind this epoch ran.
+	At simtime.Time
+	// Doc is the canonical document. Sections equal to the previous
+	// epoch's are shared structurally (same backing arrays), so a stable
+	// infrastructure costs nothing per epoch.
+	Doc *core.MapDocument
+	// Encoded is the document in the ITMB binary format.
+	Encoded []byte
+	// SharedSections counts how many of the document's sections were
+	// reused from the previous epoch at ingest.
+	SharedSections int
+
+	// mx optionally carries the ground-truth matrix snapshot for
+	// link-load queries (dense views preferred), and top the topology
+	// whose dense AS index mx's link index is aligned with. Both nil for
+	// stores fed from serialized documents only.
+	mx  *traffic.Matrix
+	top *topology.Topology
+
+	// Derived query indexes, built once at ingest.
+	activity   map[uint32]float64 // ASN → activity
+	totalAct   float64
+	ranked     []ASRank           // by activity desc, ASN asc
+	mappingsBy map[uint32][]int   // client ASN → indexes into Doc.Mappings
+	hostPop    map[uint32]int     // serving host AS → #client ASes mapped to it
+	serverAt   map[string]int     // serving prefix → index into Doc.Servers
+	confidence map[uint32]float64 // ASN → confidence (only if doc carries it)
+	sources    map[uint32]string  // ASN → source label
+	users      core.UsersComponent
+}
+
+// ASRank is one AS's position in an epoch's activity ranking.
+type ASRank struct {
+	ASN      uint32  `json:"asn"`
+	Activity float64 `json:"activity"`
+	Share    float64 `json:"share"`
+}
+
+// sectionCount is how many shareable sections a document has (active
+// prefixes, hit rates, activity, sources, coverage, confidence, servers,
+// mappings).
+const sectionCount = 8
+
+// epochList is the store's immutable snapshot: a prefix-stable slice of
+// epochs. Append publishes a fresh list; readers keep using the one they
+// loaded.
+type epochList struct {
+	epochs []*Epoch
+}
+
+// Store is the in-memory, epoch-versioned map store. Ingestion is
+// copy-on-write: Append builds a new immutable epoch plus a new epoch list
+// and atomically swaps it in, so concurrent readers never take a lock and
+// never observe a half-ingested epoch. Writers serialize among themselves.
+type Store struct {
+	mu  sync.Mutex // serializes Append
+	cur atomic.Pointer[epochList]
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	s := &Store{}
+	s.cur.Store(&epochList{})
+	return s
+}
+
+// Len returns the number of epochs.
+func (s *Store) Len() int { return len(s.cur.Load().epochs) }
+
+// Snapshot returns the current epoch list. The slice is immutable — the
+// store never mutates a published list — so callers may iterate it without
+// holding any lock while writers keep appending.
+func (s *Store) Snapshot() []*Epoch { return s.cur.Load().epochs }
+
+// Epoch returns one epoch by ID.
+func (s *Store) Epoch(id int) (*Epoch, bool) {
+	es := s.Snapshot()
+	if id < 0 || id >= len(es) {
+		return nil, false
+	}
+	return es[id], true
+}
+
+// Latest returns the newest epoch, or nil for an empty store.
+func (s *Store) Latest() *Epoch {
+	es := s.Snapshot()
+	if len(es) == 0 {
+		return nil
+	}
+	return es[len(es)-1]
+}
+
+// AppendMap ingests a traffic map built by core.BuildMap, optionally with
+// the ground-truth matrix snapshot enabling link-load queries (the matrix's
+// link index must come from m.Top's dense AS index).
+func (s *Store) AppendMap(at simtime.Time, m *core.TrafficMap, mx *traffic.Matrix) (*Epoch, error) {
+	return s.append(at, m.Document(), mx, m.Top)
+}
+
+// Append ingests a serialized map document (e.g. an imported JSON export or
+// a decoded ITMB blob). The document is normalized; the caller must not
+// mutate it afterwards.
+func (s *Store) Append(at simtime.Time, doc *core.MapDocument) (*Epoch, error) {
+	return s.append(at, doc, nil, nil)
+}
+
+func (s *Store) append(at simtime.Time, doc *core.MapDocument, mx *traffic.Matrix, top *topology.Topology) (*Epoch, error) {
+	if doc == nil {
+		return nil, fmt.Errorf("mapstore: nil document")
+	}
+	doc.Normalize()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old := s.cur.Load()
+	e := &Epoch{ID: len(old.epochs), At: at, Doc: doc, mx: mx, top: top}
+	if len(old.epochs) > 0 {
+		// Epoch times must advance strictly: a sweep re-ingested at the
+		// same simulated time is a caller bug, not a new epoch.
+		prev := old.epochs[len(old.epochs)-1]
+		if !prev.At.Before(at) {
+			return nil, fmt.Errorf("mapstore: epoch time %v does not advance past %v", at, prev.At)
+		}
+		e.SharedSections = shareSections(doc, prev.Doc)
+	}
+	enc, err := EncodeDocument(doc)
+	if err != nil {
+		return nil, err
+	}
+	e.Encoded = enc
+	users, err := core.ImportUsers(doc)
+	if err != nil {
+		return nil, err
+	}
+	e.users = users
+	if err := e.buildIndexes(); err != nil {
+		return nil, err
+	}
+
+	// Copy-on-write publish: readers holding the old list are untouched.
+	next := &epochList{epochs: make([]*Epoch, len(old.epochs)+1)}
+	copy(next.epochs, old.epochs)
+	next.epochs[len(old.epochs)] = e
+	s.cur.Store(next)
+	return e, nil
+}
+
+// shareSections replaces sections of doc that are equal to prev's with
+// prev's backing arrays/maps, so consecutive epochs of a stable map share
+// storage. Returns how many sections were shared.
+func shareSections(doc, prev *core.MapDocument) int {
+	shared := 0
+	if slices.Equal(doc.ActivePrefixes, prev.ActivePrefixes) {
+		doc.ActivePrefixes = prev.ActivePrefixes
+		shared++
+	}
+	if maps.Equal(doc.PrefixHitRates, prev.PrefixHitRates) {
+		doc.PrefixHitRates = prev.PrefixHitRates
+		shared++
+	}
+	if maps.Equal(doc.ASActivity, prev.ASActivity) {
+		doc.ASActivity = prev.ASActivity
+		shared++
+	}
+	if maps.Equal(doc.Sources, prev.Sources) {
+		doc.Sources = prev.Sources
+		shared++
+	}
+	if maps.Equal(doc.Coverage, prev.Coverage) {
+		doc.Coverage = prev.Coverage
+		shared++
+	}
+	if maps.Equal(doc.ASConfidence, prev.ASConfidence) {
+		doc.ASConfidence = prev.ASConfidence
+		shared++
+	}
+	if slices.Equal(doc.Servers, prev.Servers) {
+		doc.Servers = prev.Servers
+		shared++
+	}
+	if slices.Equal(doc.Mappings, prev.Mappings) {
+		doc.Mappings = prev.Mappings
+		shared++
+	}
+	return shared
+}
