@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race cover bench bench-all serve-smoke experiments experiments-md csv examples clean
+.PHONY: all build vet lint test race cover bench bench-all serve-smoke obs-smoke experiments experiments-md csv examples clean
 
 all: build vet lint test
 
@@ -46,7 +46,7 @@ bench:
 	@{ $(GO) test -run '^$$' -bench . -benchmem -benchtime 8x ./internal/mapstore/ && \
 	   $(GO) test -run '^$$' -bench 'BenchmarkBuildMatrix$$|BenchmarkBuildMatrixSerial$$|BenchmarkComputeAll$$' -benchmem -benchtime 4x . ; } \
 	| tee bench_serve.out
-	$(GO) run ./cmd/itm-bench -o BENCH_serve.json < bench_serve.out
+	$(GO) run ./cmd/itm-bench -campaign -o BENCH_serve.json < bench_serve.out
 	@rm -f bench_serve.out
 
 # The full benchmark suite (every paper artifact + substrate + ablations).
@@ -74,6 +74,34 @@ serve-smoke:
 	cmp -s smoke/epoch0.itmb smoke/epoch0b.itmb; \
 	echo "serve-smoke: OK (healthz + deterministic top-1 + stable binary export)"
 	@rm -rf smoke
+
+# Observability smoke: run a real 2-epoch campaign under itm-serve, then
+# check the operational surface — /metrics exposes a broad family set,
+# traces export well-formed span trees, and wrong-method hits are 405.
+obs-smoke:
+	@rm -rf obs-smoke && mkdir -p obs-smoke
+	$(GO) build -o obs-smoke/itm-serve ./cmd/itm-serve
+	@obs-smoke/itm-serve -addr 127.0.0.1:8412 -scale tiny -epochs 2 2>obs-smoke/events.log & \
+	pid=$$!; trap 'kill $$pid 2>/dev/null' EXIT; \
+	for i in $$(seq 1 150); do \
+		curl -sf http://127.0.0.1:8412/healthz >/dev/null 2>&1 && break; sleep 0.2; \
+	done; \
+	set -e; \
+	curl -sf http://127.0.0.1:8412/metrics > obs-smoke/metrics.txt; \
+	families=$$(grep -c '^# TYPE ' obs-smoke/metrics.txt); \
+	echo "obs-smoke: $$families metric families"; \
+	test "$$families" -ge 20 || { echo "obs-smoke: expected >= 20 families"; exit 1; }; \
+	grep -q '^itm_http_requests_total{' obs-smoke/metrics.txt; \
+	grep -q '^itm_mapstore_epochs_total 2' obs-smoke/metrics.txt; \
+	curl -sf http://127.0.0.1:8412/v1/traces | grep -q '"epoch-0"'; \
+	curl -sf http://127.0.0.1:8412/v1/trace/epoch-0 > obs-smoke/trace.json; \
+	grep -q '"name": "traffic.build_matrix"' obs-smoke/trace.json; \
+	grep -q '"name": "mapstore.append"' obs-smoke/trace.json; \
+	code=$$(curl -s -o /dev/null -w '%{http_code}' -X POST http://127.0.0.1:8412/v1/top); \
+	test "$$code" = 405 || { echo "obs-smoke: POST /v1/top gave $$code, want 405"; exit 1; }; \
+	grep -q 'event=serve.listening' obs-smoke/events.log; \
+	echo "obs-smoke: OK (metrics families + trace export + 405 + structured events)"
+	@rm -rf obs-smoke
 
 # Regenerate every table/figure at full scale (exit code reflects PASS/FAIL).
 experiments:

@@ -5,6 +5,12 @@
 // encoded_bytes) are pure functions of the code and the fixed -benchtime,
 // so CI can diff the file against the committed baseline.
 //
+// With -campaign it additionally runs a tiny seeded measurement campaign
+// in-process against a fresh observability set and distills the stable
+// (non-volatile) metric families — probe outcomes, shard counts, sections
+// shared — into a "Campaign/obs" entry. Those counters are pure functions
+// of (seed, campaign shape), so they diff cleanly across machines too.
+//
 // Usage:
 //
 //	go test -bench ... -benchmem -benchtime 8x ./... | itm-bench -o BENCH_serve.json
@@ -20,6 +26,10 @@ import (
 	"regexp"
 	"strconv"
 	"strings"
+
+	"itmap/internal/experiments"
+	"itmap/internal/obs"
+	"itmap/internal/world"
 )
 
 // gomaxprocsSuffix strips the trailing -N parallelism tag from a benchmark
@@ -78,14 +88,45 @@ func parse(lines *bufio.Scanner) (map[string]map[string]float64, error) {
 	return out, lines.Err()
 }
 
+// campaignCounters runs a 2-epoch tiny-world campaign against a fresh
+// observability set and returns every stable metric series as one flat
+// counter map. Swapping the set in (and back out) keeps the numbers
+// independent of whatever else the process has already counted.
+func campaignCounters(seed int64) (map[string]float64, error) {
+	prev := obs.Swap(obs.NewSet())
+	defer obs.Swap(prev)
+	if _, err := experiments.BuildEpochStore(world.Build(world.Tiny(seed)), 2, 0); err != nil {
+		return nil, err
+	}
+	vals := map[string]float64{}
+	obs.Metrics().Visit(func(name string, labels []obs.Label, value float64) {
+		key := name
+		for _, l := range labels {
+			key += "{" + l.Key + "=" + l.Value + "}"
+		}
+		vals[key] = value
+	})
+	return vals, nil
+}
+
 func main() {
 	outPath := flag.String("o", "BENCH_serve.json", "output file")
+	campaign := flag.Bool("campaign", false, "also run a tiny seeded campaign and record its stable obs counters")
+	campaignSeed := flag.Int64("campaign-seed", 42, "seed for the -campaign run")
 	flag.Parse()
 
 	results, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "itm-bench:", err)
 		os.Exit(1)
+	}
+	if *campaign {
+		vals, err := campaignCounters(*campaignSeed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "itm-bench:", err)
+			os.Exit(1)
+		}
+		results["Campaign/obs"] = vals
 	}
 	if len(results) == 0 {
 		fmt.Fprintln(os.Stderr, "itm-bench: no benchmark lines on stdin")

@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"itmap"
+	"itmap/internal/obs"
 )
 
 func main() {
@@ -24,6 +25,8 @@ func main() {
 	markdown := flag.Bool("markdown", false, "emit Markdown (EXPERIMENTS.md body)")
 	only := flag.String("only", "", "run only these comma-separated experiment IDs (e.g. F2,E5)")
 	csvDir := flag.String("csv", "", "also write each figure's series as CSV files into this directory")
+	metricsOut := flag.String("metrics-out", "", "write the stable metrics dump to this file on exit")
+	traceOut := flag.String("trace-out", "", "write the span-trace export to this file on exit")
 	flag.Parse()
 
 	var cfg itm.Config
@@ -65,6 +68,18 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %d CSV files to %s\n", len(files), *csvDir)
+	}
+	if *metricsOut != "" {
+		if err := obs.WriteMetricsFile(*metricsOut); err != nil {
+			fmt.Fprintln(os.Stderr, "itm-experiments:", err)
+			os.Exit(1)
+		}
+	}
+	if *traceOut != "" {
+		if err := obs.WriteTraceFile(*traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, "itm-experiments:", err)
+			os.Exit(1)
+		}
 	}
 	if *markdown {
 		fmt.Print(itm.MarkdownResults(results))

@@ -22,6 +22,7 @@ import (
 	"itmap"
 	"itmap/internal/dnssim"
 	"itmap/internal/faults"
+	"itmap/internal/obs"
 	"itmap/internal/resilience"
 	"itmap/internal/simtime"
 	"itmap/internal/topology"
@@ -34,12 +35,32 @@ func main() {
 	n := flag.Int("n", 12, "how many prefixes to probe")
 	profile := flag.String("faults", "none", "fault profile on the resolver: none, calm, lossy, hostile")
 	budget := flag.Int("budget", 4, "attempts per probe before giving up")
+	metricsOut := flag.String("metrics-out", "", "write the stable metrics dump to this file on exit")
+	traceOut := flag.String("trace-out", "", "write the span-trace export to this file on exit")
 	flag.Parse()
 
 	if err := run(*scale, *seed, *domain, *n, *profile, *budget); err != nil {
 		fmt.Fprintln(os.Stderr, "itm-probe:", err)
 		os.Exit(1)
 	}
+	if err := writeDumps(*metricsOut, *traceOut); err != nil {
+		fmt.Fprintln(os.Stderr, "itm-probe:", err)
+		os.Exit(1)
+	}
+}
+
+func writeDumps(metricsOut, traceOut string) error {
+	if metricsOut != "" {
+		if err := obs.WriteMetricsFile(metricsOut); err != nil {
+			return err
+		}
+	}
+	if traceOut != "" {
+		if err := obs.WriteTraceFile(traceOut); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func run(scale string, seed int64, domain string, n int, profile string, budget int) error {

@@ -10,11 +10,14 @@
 //	GET /v1/as/{asn}?epoch=&k=    per-AS view + activity series
 //	GET /v1/diff/{a}/{b}          epoch-to-epoch diff
 //	GET /v1/link/{a}/{b}?epoch=   ground-truth link load (simulation mode)
+//	GET /metrics                  Prometheus text exposition (0.0.4)
+//	GET /v1/traces                recorded trace names
+//	GET /v1/trace/{campaign}      one campaign's span tree
 //
 // Usage:
 //
 //	itm-serve [-addr :8411] [-scale tiny|small|default] [-seed N]
-//	          [-epochs N] [-workers N] [-snapshot map.json]
+//	          [-epochs N] [-workers N] [-snapshot map.json] [-pprof]
 package main
 
 import (
@@ -23,13 +26,16 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 
 	"itmap/internal/core"
 	"itmap/internal/experiments"
+	"itmap/internal/faults"
 	"itmap/internal/mapstore"
+	"itmap/internal/obs"
 	"itmap/internal/world"
 )
 
@@ -40,10 +46,12 @@ func main() {
 	epochs := flag.Int("epochs", 3, "simulated days to measure (one epoch per day)")
 	workers := flag.Int("workers", 0, "matrix build workers (0 = one per CPU)")
 	snapshot := flag.String("snapshot", "", "serve this exported map JSON instead of simulating")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
-	if err := run(*addr, *scale, *seed, *epochs, *workers, *snapshot); err != nil {
-		fmt.Fprintln(os.Stderr, "itm-serve:", err)
+	obs.Events().SetOutput(os.Stderr)
+	if err := run(*addr, *scale, *seed, *epochs, *workers, *snapshot, *pprofOn); err != nil {
+		obs.Event(obs.Error, "serve.exit", "reason", err.Error())
 		os.Exit(1)
 	}
 }
@@ -77,19 +85,66 @@ func buildStore(scale string, seed int64, epochs, workers int, snapshot string) 
 	default:
 		return nil, fmt.Errorf("unknown scale %q", scale)
 	}
-	fmt.Fprintf(os.Stderr, "itm-serve: building %s world (seed %d) and measuring %d epoch(s)...\n",
-		scale, seed, epochs)
+	obs.Event(obs.Info, "serve.building", "scale", scale, "seed", seed, "epochs", epochs)
 	return experiments.BuildEpochStore(world.Build(cfg), epochs, workers)
 }
 
-func run(addr, scale string, seed int64, epochs, workers int, snapshot string) error {
+// newMux layers the operational endpoints over the store's query API.
+func newMux(st *mapstore.Store, pprofOn bool) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/", mapstore.NewHandler(st))
+	mux.Handle("GET /metrics", obs.MetricsHandler(obs.Metrics()))
+	mux.Handle("GET /v1/traces", obs.InstrumentHandler("GET /v1/traces",
+		http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprintf(w, "{\n  \"traces\": [")
+			for i, n := range obs.Tracing().Names() {
+				if i > 0 {
+					fmt.Fprint(w, ", ")
+				}
+				fmt.Fprintf(w, "%q", n)
+			}
+			fmt.Fprint(w, "]\n}\n")
+		})))
+	mux.Handle("GET /v1/trace/{campaign}", obs.InstrumentHandler("GET /v1/trace/{campaign}",
+		http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			name := r.PathValue("campaign")
+			tr, ok := obs.Tracing().Lookup(name)
+			if !ok {
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(http.StatusNotFound)
+				fmt.Fprintf(w, "{\"error\": %q}\n", "no trace "+name)
+				return
+			}
+			b, err := tr.ExportJSON()
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			_, _ = w.Write(b)
+		})))
+	if pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}
+
+func run(addr, scale string, seed int64, epochs, workers int, snapshot string, pprofOn bool) error {
+	faults.RegisterMetrics()
 	st, err := buildStore(scale, seed, epochs, workers, snapshot)
 	if err != nil {
 		return err
 	}
+	obs.G("itm_serve_epochs_loaded", "Epochs available in the serving store.").Set(float64(st.Len()))
 	for _, info := range st.Infos() {
-		fmt.Fprintf(os.Stderr, "itm-serve: epoch %d at %vh: %d prefixes, %d ASes, %d servers, %d mappings, %d bytes encoded\n",
-			info.ID, info.At, info.ActivePrefixes, info.ASes, info.Servers, info.Mappings, info.EncodedBytes)
+		obs.Event(obs.Info, "serve.epoch", "id", info.ID, "at_h", float64(info.At),
+			"prefixes", info.ActivePrefixes, "ases", info.ASes, "servers", info.Servers,
+			"mappings", info.Mappings, "encoded_bytes", info.EncodedBytes)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -99,18 +154,21 @@ func run(addr, scale string, seed int64, epochs, workers int, snapshot string) e
 	if err != nil {
 		return err
 	}
-	srv := &http.Server{Handler: mapstore.NewHandler(st)}
+	srv := &http.Server{Handler: newMux(st, pprofOn)}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
-	fmt.Fprintf(os.Stderr, "itm-serve: listening on %s\n", ln.Addr())
+	obs.Event(obs.Info, "serve.listening", "addr", ln.Addr().String(),
+		"epochs", st.Len(), "pprof", pprofOn)
 
+	reason := "signal"
 	select {
 	case err := <-errc:
+		obs.Event(obs.Error, "serve.shutdown", "reason", err.Error())
 		return err
 	case <-ctx.Done():
 	}
 	stop()
-	fmt.Fprintln(os.Stderr, "itm-serve: shutting down")
+	obs.Event(obs.Info, "serve.shutdown", "reason", reason)
 	// Graceful drain: in-flight requests finish; new connections are
 	// refused. No deadline — a second signal kills the process anyway.
 	return srv.Shutdown(context.Background())

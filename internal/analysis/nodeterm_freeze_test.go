@@ -1,0 +1,24 @@
+package analysis
+
+import "testing"
+
+// TestNodetermAllowlistFrozen pins the nodeterm path exemptions to the two
+// seeded substrates. Any other wall-clock use — including the observability
+// layer's HTTP duration bridge — must carry a justified line-level
+// //itmlint:allow, never a new package exemption: line allows are visible at
+// the call site and go stale loudly, path exemptions silently cover a whole
+// package forever.
+func TestNodetermAllowlistFrozen(t *testing.T) {
+	want := map[string]bool{
+		"internal/simtime": true,
+		"internal/randx":   true,
+	}
+	if len(nodetermAllowedPkgs) != len(want) {
+		t.Fatalf("nodetermAllowedPkgs = %v, want exactly %v", nodetermAllowedPkgs, want)
+	}
+	for pkg := range want {
+		if !nodetermAllowedPkgs[pkg] {
+			t.Fatalf("nodetermAllowedPkgs = %v, missing %q", nodetermAllowedPkgs, pkg)
+		}
+	}
+}

@@ -11,7 +11,9 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
+	"itmap/internal/obs"
 	"itmap/internal/parallel"
 	"itmap/internal/topology"
 )
@@ -91,10 +93,17 @@ type scratch struct {
 
 var scratchPool sync.Pool
 
+// scratchReuses counts pool hits — RIB computations that skipped the three
+// scratch allocations. Pool retention depends on GC timing and scheduler
+// locality, so the derived metric family is registered volatile.
+var scratchReuses atomic.Uint64
+
 func getScratch(n int) *scratch {
 	s, _ := scratchPool.Get().(*scratch)
 	if s == nil {
 		s = &scratch{}
+	} else {
+		scratchReuses.Add(1)
 	}
 	if len(s.stamp) < n {
 		s.stamp = make([]uint32, n)
@@ -275,6 +284,15 @@ func ComputeRIB(top *topology.Topology, origin topology.ASN) *RIB {
 		s.candA = cands[:0]
 	}
 	s.buckets = buckets
+
+	reachable := uint64(0)
+	for ui := 0; ui < n; ui++ {
+		if r.Type[ui] != Unreachable {
+			reachable++
+		}
+	}
+	obs.C("itm_bgp_ribs_computed_total", "RIBs computed (one per origin sweep).").Inc()
+	obs.C("itm_bgp_rib_routes_total", "Reachable best-route entries across all computed RIBs.").Add(reachable)
 	return r
 }
 
@@ -381,10 +399,16 @@ type AllPaths struct {
 func ComputeAll(top *topology.Topology) *AllPaths {
 	asns := top.ASNs()
 	top.LinkIndex() // build once before fan-out; lazy build is not thread-safe
+	sp := obs.StartSpan("bgp.compute_all", 0).SetAttrInt("origins", int64(len(asns)))
+	reuseBase := scratchReuses.Load()
 	ap := &AllPaths{top: top, ribs: make([]*RIB, len(asns))}
 	parallel.ForEach(len(asns), 0, func(i int) {
 		ap.ribs[i] = ComputeRIB(top, asns[i])
 	})
+	obs.Metrics().VolatileCounter("itm_bgp_scratch_reuses_total",
+		"ComputeRIB scratch allocations avoided via pooling (volatile: pool retention is GC/scheduler dependent).").
+		Add(scratchReuses.Load() - reuseBase)
+	sp.End(0)
 	return ap
 }
 

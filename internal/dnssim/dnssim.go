@@ -17,6 +17,7 @@
 package dnssim
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -24,6 +25,7 @@ import (
 
 	"itmap/internal/faults"
 	"itmap/internal/geo"
+	"itmap/internal/obs"
 	"itmap/internal/randx"
 	"itmap/internal/services"
 	"itmap/internal/simtime"
@@ -104,6 +106,11 @@ func NewPublicResolver(top *topology.Topology, cat *services.Catalog, owner topo
 			addPoP(c.Capital)
 		}
 	}
+	// Declare the fault-outcome family up front so a fault-free run still
+	// exposes its HELP/TYPE header.
+	obs.Metrics().Declare(obs.KindCounter, "itm_dns_probe_errors_total",
+		"Cache probes answered with an injected transient fault, by kind.", "kind")
+	obs.G("itm_dns_pops", "Public-resolver points of presence.").Set(float64(len(pr.PoPs)))
 	return pr
 }
 
@@ -189,9 +196,25 @@ func (pr *PublicResolver) ProbeCacheOpts(popID int, domain string, ecs topology.
 		return false, fmt.Errorf("dnssim: unknown PoP %d", popID)
 	}
 	if err := pr.faults.ProbeFault(popID, opt.Source, probeKey(domain, ecs), opt.Attempt, t); err != nil {
+		obs.C("itm_dns_probe_errors_total",
+			"Cache probes answered with an injected transient fault, by kind.",
+			obs.L("kind", faultKind(err))).Inc()
 		return false, err
 	}
 	return pr.cacheLookup(popID, domain, ecs, t)
+}
+
+// faultKind names a transient fault for the error-kind metric label.
+func faultKind(err error) string {
+	switch {
+	case errors.Is(err, faults.ErrTimeout):
+		return "timeout"
+	case errors.Is(err, faults.ErrServfail):
+		return "servfail"
+	case errors.Is(err, faults.ErrThrottled):
+		return "throttled"
+	}
+	return "other"
 }
 
 // cacheLookup is the fault-free cache-occupancy check. The wire front end
@@ -217,6 +240,10 @@ func (pr *PublicResolver) cacheLookup(popID int, domain string, ecs topology.Pre
 	p := 1 - math.Exp(-rate*float64(ttl))
 	window := uint64(math.Floor(float64(t / ttl)))
 	hit := randx.HashBool(p, pr.seed, 0xcac4e, uint64(popID), hashString(domain), uint64(ecs), window)
+	obs.C("itm_dns_probes_total", "Cache-occupancy lookups answered (hit or clean miss).").Inc()
+	if hit {
+		obs.C("itm_dns_cache_hits_total", "Cache-occupancy lookups that found the record cached.").Inc()
+	}
 	return hit, nil
 }
 

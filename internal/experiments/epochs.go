@@ -1,7 +1,10 @@
 package experiments
 
 import (
+	"strconv"
+
 	"itmap/internal/mapstore"
+	obspkg "itmap/internal/obs"
 	"itmap/internal/simtime"
 	"itmap/internal/world"
 )
@@ -50,9 +53,13 @@ func EpochEnvs(w *world.World, days, workers int) []*Env {
 // rankings) is identical for every setting.
 func BuildEpochStore(w *world.World, days, workers int) (*mapstore.Store, error) {
 	envs := EpochEnvs(w, days, workers)
+	// One trace per campaign day; Activate happens at serial points, so every
+	// span a day's sweeps record lands in that day's tree.
+	obspkg.ActivateTrace("epoch-0")
 	mx := envs[0].Matrix()
 	st := mapstore.NewStore()
 	for d, e := range envs {
+		obspkg.ActivateTrace("epoch-" + strconv.Itoa(d))
 		if _, err := st.AppendMap(simtime.Time(d)*simtime.Day, e.Map(), mx); err != nil {
 			return nil, err
 		}

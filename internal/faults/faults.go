@@ -15,6 +15,7 @@ import (
 	"errors"
 	"math"
 
+	"itmap/internal/obs"
 	"itmap/internal/randx"
 	"itmap/internal/simtime"
 )
@@ -81,6 +82,28 @@ func (pl *Plan) Profile() Profile {
 // timeBits folds a simulated time into the hash input.
 func timeBits(t simtime.Time) uint64 { return math.Float64bits(float64(t)) }
 
+// Metric help strings, shared by the inject sites and RegisterMetrics.
+const (
+	helpInjected = "Faults injected into probe traffic, by kind."
+	helpRolls    = "Probe-fault evaluations against an enabled plan."
+	helpICMP     = "Traceroute replies eaten by router ICMP rate limiting."
+	helpLetters  = "Root-letter log outage days drawn."
+)
+
+// RegisterMetrics declares the fault-layer families so a fault-free process
+// (itm-serve never injects) still exposes their HELP/TYPE headers.
+func RegisterMetrics() {
+	m := obs.Metrics()
+	m.Declare(obs.KindCounter, "itm_faults_injected_total", helpInjected, "kind")
+	m.Declare(obs.KindCounter, "itm_faults_rolls_total", helpRolls)
+	m.Declare(obs.KindCounter, "itm_faults_icmp_drops_total", helpICMP)
+	m.Declare(obs.KindCounter, "itm_faults_letter_outages_total", helpLetters)
+}
+
+func countInjected(kind string) {
+	obs.C("itm_faults_injected_total", helpInjected, obs.L("kind", kind)).Inc()
+}
+
 // PoPDown reports whether the PoP is inside a transient outage at t.
 // Each PoP suffers at most one outage per simulated day, scheduled
 // deterministically from the seed.
@@ -135,7 +158,11 @@ func (pl *Plan) LetterDown(letter byte, day int) bool {
 	if !pl.Enabled() || pl.prof.LetterOutageProb <= 0 {
 		return false
 	}
-	return randx.HashBool(pl.prof.LetterOutageProb, pl.seed, tagLetter, uint64(letter), uint64(day))
+	down := randx.HashBool(pl.prof.LetterOutageProb, pl.seed, tagLetter, uint64(letter), uint64(day))
+	if down {
+		obs.C("itm_faults_letter_outages_total", helpLetters).Inc()
+	}
+	return down
 }
 
 // ICMPDropped reports whether a router's ICMP rate limiter ate the
@@ -145,7 +172,11 @@ func (pl *Plan) ICMPDropped(router uint64, key uint64, attempt int, t simtime.Ti
 	if !pl.Enabled() || pl.prof.ICMPDropProb <= 0 {
 		return false
 	}
-	return randx.HashBool(pl.prof.ICMPDropProb, pl.seed, tagICMP, router, key, uint64(attempt), timeBits(t))
+	dropped := randx.HashBool(pl.prof.ICMPDropProb, pl.seed, tagICMP, router, key, uint64(attempt), timeBits(t))
+	if dropped {
+		obs.C("itm_faults_icmp_drops_total", helpICMP).Inc()
+	}
+	return dropped
 }
 
 // ProbeFault evaluates every fault class for one DNS probe against a PoP and
@@ -159,18 +190,23 @@ func (pl *Plan) ProbeFault(pop int, source, key uint64, attempt int, t simtime.T
 	if !pl.Enabled() {
 		return nil
 	}
+	obs.C("itm_faults_rolls_total", helpRolls).Inc()
 	if pl.PoPDown(pop, t) {
+		countInjected("pop-outage")
 		return ErrTimeout
 	}
 	if pl.SourceBanned(source, t) {
+		countInjected("throttle")
 		return ErrThrottled
 	}
 	if pl.prof.PacketLoss > 0 &&
 		randx.HashBool(pl.prof.PacketLoss, pl.seed, tagLoss, uint64(pop), source, key, uint64(attempt), timeBits(t)) {
+		countInjected("packet-loss")
 		return ErrTimeout
 	}
 	if pl.prof.ServfailRate > 0 &&
 		randx.HashBool(pl.prof.ServfailRate, pl.seed, tagServfail, uint64(pop), source, key, uint64(attempt), timeBits(t)) {
+		countInjected("servfail")
 		return ErrServfail
 	}
 	return nil

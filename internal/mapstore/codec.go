@@ -14,6 +14,7 @@ import (
 	"strconv"
 
 	"itmap/internal/core"
+	"itmap/internal/obs"
 	"itmap/internal/topology"
 )
 
@@ -255,6 +256,7 @@ func EncodeDocument(doc *core.MapDocument) ([]byte, error) {
 		e.uvarint(uint64(m.ClientAS))
 		e.uvarint(uint64(p))
 	}
+	obs.C("itm_codec_encoded_bytes_total", "ITMB bytes produced by document encodes.").Add(uint64(len(e.buf)))
 	return e.buf, nil
 }
 
@@ -757,5 +759,6 @@ func DecodeDocument(data []byte) (*core.MapDocument, error) {
 			return nil, fmt.Errorf("%w: unreferenced string table entry %d", ErrCorrupt, i)
 		}
 	}
+	obs.C("itm_codec_decoded_bytes_total", "ITMB bytes consumed by successful document decodes.").Add(uint64(len(data)))
 	return doc, nil
 }

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+
+	"itmap/internal/obs"
 )
 
 // NewHandler exposes the store's query engine as an HTTP JSON API:
@@ -23,13 +25,18 @@ import (
 func NewHandler(s *Store) http.Handler {
 	h := &handler{s: s}
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", h.healthz)
-	mux.HandleFunc("GET /v1/epochs", h.epochs)
-	mux.HandleFunc("GET /v1/map/{epoch}", h.mapDoc)
-	mux.HandleFunc("GET /v1/top", h.top)
-	mux.HandleFunc("GET /v1/as/{asn}", h.asView)
-	mux.HandleFunc("GET /v1/diff/{a}/{b}", h.diff)
-	mux.HandleFunc("GET /v1/link/{a}/{b}", h.link)
+	route := func(pattern string, fn http.HandlerFunc) {
+		// Metrics label on the registered pattern, never the raw path:
+		// cardinality stays bounded by the route table.
+		mux.Handle(pattern, obs.InstrumentHandler(pattern, fn))
+	}
+	route("GET /healthz", h.healthz)
+	route("GET /v1/epochs", h.epochs)
+	route("GET /v1/map/{epoch}", h.mapDoc)
+	route("GET /v1/top", h.top)
+	route("GET /v1/as/{asn}", h.asView)
+	route("GET /v1/diff/{a}/{b}", h.diff)
+	route("GET /v1/link/{a}/{b}", h.link)
 	return mux
 }
 

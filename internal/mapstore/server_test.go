@@ -7,6 +7,8 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"testing"
+
+	"itmap/internal/obs"
 )
 
 func get(t *testing.T, srv *httptest.Server, path string) (int, []byte) {
@@ -162,5 +164,60 @@ func TestServerEmptyStore(t *testing.T) {
 	code, _ = get(t, srv, "/v1/top")
 	if code != http.StatusNotFound {
 		t.Errorf("top on empty store: %d", code)
+	}
+}
+
+// TestServerWrongMethodIs405 locks the routing contract: a wrong-method hit
+// on a registered route is 405 Method Not Allowed (with Allow set), never a
+// 404 — clients distinguish "no such resource" from "wrong verb".
+func TestServerWrongMethodIs405(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(storeWith(t, 1)))
+	defer srv.Close()
+	for _, path := range []string{"/healthz", "/v1/epochs", "/v1/top", "/v1/map/0", "/v1/as/3000", "/v1/diff/0/0"} {
+		resp, err := srv.Client().Post(srv.URL+path, "application/json", bytes.NewReader(nil))
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("POST %s: status %d, want 405", path, resp.StatusCode)
+		}
+		if allow := resp.Header.Get("Allow"); allow != "GET, HEAD" {
+			t.Errorf("POST %s: Allow = %q, want \"GET, HEAD\"", path, allow)
+		}
+	}
+	// An unregistered path stays a plain 404.
+	resp, err := srv.Client().Post(srv.URL+"/v1/nope", "application/json", bytes.NewReader(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("POST /v1/nope: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestHandlerInstrumentation checks every route reports into the metrics
+// registry under its pattern label.
+func TestHandlerInstrumentation(t *testing.T) {
+	prev := obs.Swap(obs.NewSet())
+	defer obs.Swap(prev)
+	srv := httptest.NewServer(NewHandler(storeWith(t, 1)))
+	defer srv.Close()
+	get(t, srv, "/healthz")
+	get(t, srv, "/v1/top?k=1")
+	get(t, srv, "/v1/top?epoch=99") // 404 → 4xx class
+	reg := obs.Metrics()
+	if got := reg.Counter("itm_http_requests_total", "HTTP requests served, by route pattern and status class.",
+		obs.L("route", "GET /v1/top"), obs.L("class", "2xx")).Value(); got != 1 {
+		t.Errorf("GET /v1/top 2xx = %d, want 1", got)
+	}
+	if got := reg.Counter("itm_http_requests_total", "HTTP requests served, by route pattern and status class.",
+		obs.L("route", "GET /v1/top"), obs.L("class", "4xx")).Value(); got != 1 {
+		t.Errorf("GET /v1/top 4xx = %d, want 1", got)
+	}
+	if got := reg.Counter("itm_http_requests_total", "HTTP requests served, by route pattern and status class.",
+		obs.L("route", "GET /healthz"), obs.L("class", "2xx")).Value(); got != 1 {
+		t.Errorf("GET /healthz 2xx = %d, want 1", got)
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"itmap/internal/core"
+	"itmap/internal/obs"
 	"itmap/internal/simtime"
 	"itmap/internal/topology"
 	"itmap/internal/traffic"
@@ -163,8 +164,22 @@ func (s *Store) append(at simtime.Time, doc *core.MapDocument, mx *traffic.Matri
 	copy(next.epochs, old.epochs)
 	next.epochs[len(old.epochs)] = e
 	s.cur.Store(next)
+
+	sp := obs.StartSpan("mapstore.append", at).SetAttrInt("epoch", int64(e.ID))
+	sp.SetAttrInt("shared_sections", int64(e.SharedSections)).
+		SetAttrInt("encoded_bytes", int64(len(enc))).
+		End(at)
+	obs.C("itm_mapstore_epochs_total", "Epochs ingested into the map store.").Inc()
+	obs.C("itm_mapstore_sections_shared_total", "Document sections structurally shared with the previous epoch.").Add(uint64(e.SharedSections))
+	if e.ID > 0 {
+		obs.C("itm_mapstore_sections_copied_total", "Document sections that changed and so kept their own storage.").Add(uint64(sectionCount - e.SharedSections))
+	}
+	obs.H("itm_mapstore_epoch_bytes", "Encoded (ITMB) size of ingested epochs, in bytes.", epochBytesBuckets).Observe(float64(len(enc)))
 	return e, nil
 }
+
+// epochBytesBuckets spans tiny test worlds through full-scale documents.
+var epochBytesBuckets = []float64{1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20}
 
 // shareSections replaces sections of doc that are equal to prev's with
 // prev's backing arrays/maps, so consecutive epochs of a stable map share

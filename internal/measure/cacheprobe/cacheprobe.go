@@ -12,6 +12,7 @@ import (
 
 	"itmap/internal/dnssim"
 	"itmap/internal/faults"
+	"itmap/internal/obs"
 	"itmap/internal/simtime"
 	"itmap/internal/topology"
 )
@@ -93,6 +94,10 @@ func (pb *Prober) DiscoverPrefixes(top *topology.Topology, prefixes []topology.P
 			d.ByPoP[pop.ID]++
 		}
 	}
+	mode := obs.L("mode", "naive")
+	obs.C("itm_probe_datagrams_total", "Probe datagrams sent, by client mode.", mode).Add(uint64(d.Probes))
+	obs.C("itm_probe_failed_total", "Probe datagrams lost to transient faults, by client mode.", mode).Add(uint64(d.Failed))
+	obs.C("itm_probe_prefixes_found_total", "Prefixes discovered active (at least one cache hit).").Add(uint64(len(d.Found)))
 	return d, nil
 }
 
@@ -168,6 +173,7 @@ func (pb *Prober) MeasureHitRates(top *topology.Topology, prefixes []topology.Pr
 	}
 	probesPer := int(24 / float64(interval))
 	hr.ProbesPerPrefix = probesPer
+	probes := 0
 	for _, p := range prefixes {
 		pop := pb.PR.HomePoP(p)
 		if pop == nil {
@@ -176,6 +182,7 @@ func (pb *Prober) MeasureHitRates(top *topology.Topology, prefixes []topology.Pr
 		hits := 0
 		for r := 0; r < probesPer; r++ {
 			at := start + simtime.Time(float64(r))*interval
+			probes++
 			hit, err := pb.PR.ProbeCacheOpts(pop.ID, domain, p, at, dnssim.ProbeOpts{Source: pb.Source})
 			if err != nil {
 				if faults.IsTransient(err) {
@@ -193,5 +200,8 @@ func (pb *Prober) MeasureHitRates(top *topology.Topology, prefixes []topology.Pr
 			hr.ByAS[asn] += float64(hits)
 		}
 	}
+	mode := obs.L("mode", "naive")
+	obs.C("itm_probe_datagrams_total", "Probe datagrams sent, by client mode.", mode).Add(uint64(probes))
+	obs.C("itm_probe_failed_total", "Probe datagrams lost to transient faults, by client mode.", mode).Add(uint64(hr.Failed))
 	return hr, nil
 }

@@ -5,6 +5,7 @@ import (
 
 	"itmap/internal/dnssim"
 	"itmap/internal/faults"
+	"itmap/internal/obs"
 	"itmap/internal/parallel"
 	"itmap/internal/resilience"
 	"itmap/internal/simtime"
@@ -91,6 +92,12 @@ type SweepStats struct {
 	Skips int
 	// BreakerOpens counts breaker open transitions across all shards.
 	BreakerOpens int
+	// PacerWaits counts first attempts the token-bucket pacer pushed past
+	// their scheduled slot.
+	PacerWaits int
+	// BreakerTransitions counts breaker state transitions across all
+	// shards, keyed "from>to" (e.g. "half-open>closed").
+	BreakerTransitions map[string]int
 	// Outcome classifies every target.
 	Outcome map[topology.PrefixID]TargetOutcome
 	// Attempts records datagrams spent per target.
@@ -99,8 +106,9 @@ type SweepStats struct {
 
 func newSweepStats() *SweepStats {
 	return &SweepStats{
-		Outcome:  map[topology.PrefixID]TargetOutcome{},
-		Attempts: map[topology.PrefixID]int{},
+		BreakerTransitions: map[string]int{},
+		Outcome:            map[topology.PrefixID]TargetOutcome{},
+		Attempts:           map[topology.PrefixID]int{},
 	}
 }
 
@@ -110,11 +118,48 @@ func (s *SweepStats) merge(o *SweepStats) {
 	s.GiveUps += o.GiveUps
 	s.Skips += o.Skips
 	s.BreakerOpens += o.BreakerOpens
+	s.PacerWaits += o.PacerWaits
+	for k, v := range o.BreakerTransitions {
+		s.BreakerTransitions[k] += v
+	}
 	for p, v := range o.Outcome {
 		s.Outcome[p] = v
 	}
 	for p, v := range o.Attempts {
 		s.Attempts[p] = v
+	}
+}
+
+// breakerTransitions is every reachable "from>to" edge, in the order the
+// state machine cycles through them; reportObs walks this fixed list so the
+// exposition never depends on map order.
+var breakerTransitions = []string{
+	"closed>open", "open>half-open", "half-open>closed", "half-open>open",
+}
+
+// reportObs folds one merged sweep ledger into the process metrics
+// registry. It runs on the serial path after the shard merge, so every
+// total is a pure function of the sweep result.
+func (s *SweepStats) reportObs(sweep string) {
+	lab := obs.L("sweep", sweep)
+	obs.C("itm_probe_datagrams_total", "Probe datagrams sent, by client mode.",
+		obs.L("mode", "resilient")).Add(uint64(s.Probes))
+	obs.C("itm_probe_retries_total", "Second-and-later probe attempts, by sweep kind.", lab).Add(uint64(s.Retries))
+	obs.C("itm_probe_giveups_total", "Targets whose retry budget died without a definitive answer.", lab).Add(uint64(s.GiveUps))
+	obs.C("itm_probe_breaker_skips_total", "Probe opportunities dropped because a PoP breaker was open.", lab).Add(uint64(s.Skips))
+	obs.C("itm_probe_breaker_opens_total", "PoP circuit-breaker open transitions.", lab).Add(uint64(s.BreakerOpens))
+	obs.C("itm_probe_pacer_waits_total", "First attempts delayed past their schedule by the token-bucket pacer.", lab).Add(uint64(s.PacerWaits))
+	for _, tr := range breakerTransitions {
+		obs.C("itm_probe_breaker_transitions_total", "PoP circuit-breaker state transitions, by edge.",
+			obs.L("transition", tr)).Add(uint64(s.BreakerTransitions[tr]))
+	}
+	counts := map[TargetOutcome]int{}
+	for _, o := range s.Outcome {
+		counts[o]++
+	}
+	for _, o := range []TargetOutcome{TargetProbedOK, TargetGaveUp, TargetSkipped} {
+		obs.C("itm_probe_targets_total", "Sweep targets by final outcome.",
+			lab, obs.L("outcome", o.String())).Add(uint64(counts[o]))
 	}
 }
 
@@ -144,10 +189,15 @@ func (rp *ResilientProber) newShard(i int) *shardState {
 	}
 }
 
-func (ss *shardState) breaker(pop int, cfg resilience.BreakerConfig) *resilience.Breaker {
+func (ss *shardState) breaker(pop int, cfg resilience.BreakerConfig, st *SweepStats) *resilience.Breaker {
 	b := ss.breakers[pop]
 	if b == nil {
 		b = resilience.NewBreaker(cfg)
+		// Breakers and ledgers are both shard-local, so the hook needs no
+		// locking and the per-edge counts merge in shard order.
+		b.OnStateChange = func(from, to resilience.State, _ simtime.Time) {
+			st.BreakerTransitions[from.String()+">"+to.String()]++
+		}
 		ss.breakers[pop] = b
 	}
 	return b
@@ -162,11 +212,15 @@ func (ss *shardState) breaker(pop int, cfg resilience.BreakerConfig) *resilience
 // outages. One target's retries never delay another target — a real
 // prober multiplexes its outstanding probes.
 func (rp *ResilientProber) probe(ss *shardState, st *SweepStats, pop int, dom string, p topology.PrefixID, sched simtime.Time) (bool, bool, int) {
-	br := ss.breaker(pop, rp.Breaker)
+	br := ss.breaker(pop, rp.Breaker, st)
 	var hit bool
 	sent := 0
 	key := uint64(p)
-	out := rp.Retry.Do(ss.pacer.Next(sched), key, func(attempt int, at simtime.Time) error {
+	grant := ss.pacer.Next(sched)
+	if grant > sched {
+		st.PacerWaits++
+	}
+	out := rp.Retry.Do(grant, key, func(attempt int, at simtime.Time) error {
 		if !br.Allow(at) {
 			st.Skips++
 			return faults.ErrTimeout // counts as failure, but no datagram
@@ -207,6 +261,10 @@ func (rp *ResilientProber) DiscoverPrefixes(top *topology.Topology, prefixes []t
 		rp.Retry.Retryable = faults.IsTransient
 	}
 	n := rp.shards()
+	root := obs.StartSpan("cacheprobe.discover", start).
+		SetAttrInt("targets", int64(len(prefixes))).
+		SetAttrInt("shards", int64(n)).
+		SetAttrInt("rounds", int64(rounds))
 	type shardResult struct {
 		d  *Discovery
 		st *SweepStats
@@ -219,6 +277,7 @@ func (rp *ResilientProber) DiscoverPrefixes(top *topology.Topology, prefixes []t
 		if lo >= hi {
 			return
 		}
+		sp := root.Child("shard", start).SetOrder(i).SetAttrInt("shard", int64(i))
 		ss := rp.newShard(i)
 		d := &Discovery{
 			Found:     map[topology.PrefixID]bool{},
@@ -270,6 +329,7 @@ func (rp *ResilientProber) DiscoverPrefixes(top *topology.Topology, prefixes []t
 		for _, b := range ss.breakers {
 			st.BreakerOpens += b.Opens
 		}
+		sp.SetAttrInt("datagrams", int64(st.Probes)).End(start + 24)
 		results[i] = shardResult{d, st}
 	})
 	rp.Retry.Retryable = retryable
@@ -302,6 +362,11 @@ func (rp *ResilientProber) DiscoverPrefixes(top *topology.Topology, prefixes []t
 	answered := out.Probes
 	out.Probes = stats.Probes
 	out.Failed = stats.Probes - answered
+	stats.reportObs("discover")
+	obs.C("itm_probe_prefixes_found_total", "Prefixes discovered active (at least one cache hit).").Add(uint64(len(out.Found)))
+	root.SetAttrInt("found", int64(len(out.Found))).
+		SetAttrInt("datagrams", int64(stats.Probes)).
+		End(start + 24)
 	return out, stats, nil
 }
 
@@ -319,6 +384,10 @@ func (rp *ResilientProber) MeasureHitRates(top *topology.Topology, prefixes []to
 	}
 	probesPer := int(24 / float64(interval))
 	n := rp.shards()
+	root := obs.StartSpan("cacheprobe.hitrates", start).
+		SetAttrInt("targets", int64(len(prefixes))).
+		SetAttrInt("shards", int64(n)).
+		SetAttrInt("probes_per_prefix", int64(probesPer))
 	type shardResult struct {
 		hr *HitRates
 		st *SweepStats
@@ -331,6 +400,7 @@ func (rp *ResilientProber) MeasureHitRates(top *topology.Topology, prefixes []to
 		if lo >= hi {
 			return
 		}
+		sp := root.Child("shard", start).SetOrder(i).SetAttrInt("shard", int64(i))
 		ss := rp.newShard(i)
 		hr := &HitRates{
 			ByPrefix:        map[topology.PrefixID]float64{},
@@ -379,6 +449,7 @@ func (rp *ResilientProber) MeasureHitRates(top *topology.Topology, prefixes []to
 		for _, b := range ss.breakers {
 			st.BreakerOpens += b.Opens
 		}
+		sp.SetAttrInt("datagrams", int64(st.Probes)).End(start + 24)
 		results[i] = shardResult{hr, st}
 	})
 	rp.Retry.Retryable = retryable
@@ -402,5 +473,7 @@ func (rp *ResilientProber) MeasureHitRates(top *topology.Topology, prefixes []to
 		}
 		stats.merge(r.st)
 	}
+	stats.reportObs("hitrates")
+	root.SetAttrInt("datagrams", int64(stats.Probes)).End(start + 24)
 	return out, stats, nil
 }

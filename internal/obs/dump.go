@@ -1,0 +1,21 @@
+package obs
+
+import "os"
+
+// WriteMetricsFile writes the default registry's stable exposition to path —
+// the -metrics-out flag's format. Volatile families are excluded, so two
+// runs of the same seeded campaign produce byte-identical files.
+func WriteMetricsFile(path string) error {
+	return os.WriteFile(path, []byte(Metrics().StableExposition()), 0o644)
+}
+
+// WriteTraceFile writes every recorded trace to path as indented JSON — the
+// -trace-out flag's format. Span timestamps are virtual and the tree is
+// structurally sorted, so the bytes share the metrics file's determinism.
+func WriteTraceFile(path string) error {
+	b, err := Tracing().ExportAll()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

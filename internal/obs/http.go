@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// HTTPDurationBuckets are the wall-clock request-duration bounds, in
+// seconds. Tuned for an in-memory store: most answers are sub-millisecond,
+// full-document encodes reach tens of milliseconds.
+var HTTPDurationBuckets = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5}
+
+// statusWriter captures the status code a handler writes.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// InstrumentHandler wraps h with request counting and wall-duration
+// observation under the given route label (use the route *pattern*, never
+// the raw path — label cardinality must stay bounded).
+//
+// This is the observability layer's only wall-clock use: request latency is
+// a property of the serving host, not the simulation, so it cannot come
+// from simtime. The two reads below are the documented bridges (DESIGN.md
+// §10); the duration histogram is registered volatile so wall time never
+// reaches a stable (golden-testable) dump.
+func InstrumentHandler(route string, h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		//itmlint:allow nodeterm HTTP wall-duration bridge, DESIGN.md §10
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h.ServeHTTP(sw, r)
+		//itmlint:allow nodeterm HTTP wall-duration bridge, DESIGN.md §10
+		elapsed := time.Since(start)
+		class := strconv.Itoa(sw.status/100) + "xx"
+		C("itm_http_requests_total", "HTTP requests served, by route pattern and status class.",
+			L("route", route), L("class", class)).Inc()
+		Default().Reg.VolatileHistogram("itm_http_request_seconds",
+			"Wall-clock request duration by route pattern (volatile: excluded from stable dumps).",
+			HTTPDurationBuckets, L("route", route)).Observe(elapsed.Seconds())
+	})
+}
+
+// MetricsHandler serves the registry in Prometheus text format 0.0.4,
+// volatile families included.
+func MetricsHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w, true)
+	})
+}

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestExpositionGolden locks the Prometheus text-format rendering: HELP/TYPE
+// ordering, family sorting, series sorting, label escaping, histogram
+// cumulative buckets. Regenerate with:
+//
+//	UPDATE_GOLDEN=1 go test ./internal/obs -run Golden
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("itm_zeta_total", "Sorted last by name.").Add(3)
+	r.Counter("itm_alpha_total", `Help with backslash \ and
+newline.`).Inc()
+	c := r.Counter("itm_requests_total", "Requests by route and class.",
+		L("route", "GET /v1/top"), L("class", "2xx"))
+	c.Add(7)
+	r.Counter("itm_requests_total", "Requests by route and class.",
+		L("route", "GET /v1/top"), L("class", "5xx")).Inc()
+	r.Counter("itm_escapes_total", "Label-value escaping.",
+		L("v", "quote\" backslash\\ newline\n")).Inc()
+	r.Gauge("itm_level", "A gauge.").Set(-2.5)
+	h := r.Histogram("itm_sizes_bytes", "A histogram.", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 5, 5, 50, 5000} {
+		h.Observe(v)
+	}
+	r.Declare(KindCounter, "itm_declared_total", "Declared but never incremented.", "kind")
+	r.VolatileCounter("itm_volatile_total", "Excluded from the stable dump.").Add(99)
+
+	got := r.StableExposition()
+	golden := filepath.Join("testdata", "exposition.golden")
+	if update() {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (set UPDATE_GOLDEN=1 to regenerate): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("stable exposition drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+
+	full := r.Exposition()
+	if !strings.Contains(full, "itm_volatile_total 99") {
+		t.Errorf("full exposition should include volatile families:\n%s", full)
+	}
+	if strings.Contains(got, "itm_volatile_total") {
+		t.Errorf("stable exposition must exclude volatile families:\n%s", got)
+	}
+}
+
+func update() bool { return os.Getenv("UPDATE_GOLDEN") != "" }
+
+func TestHistogramBucketsAndSum(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "h.", []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(1)   // le="1" is inclusive
+	h.Observe(1.5)
+	h.Observe(3)   // +Inf bucket
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4", h.Count())
+	}
+	if got, want := h.Sum(), 6.0; got != want {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+	text := r.Exposition()
+	for _, line := range []string{
+		`h_bucket{le="1"} 2`,
+		`h_bucket{le="2"} 3`,
+		`h_bucket{le="+Inf"} 4`,
+		`h_sum 6`,
+		`h_count 4`,
+	} {
+		if !strings.Contains(text, line+"\n") {
+			t.Errorf("exposition missing %q:\n%s", line, text)
+		}
+	}
+}
+
+func TestShapeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "x.")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge should panic")
+		}
+	}()
+	r.Gauge("x", "x.")
+}
+
+func TestVisitIsSortedAndStable(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "b.", L("k", "2")).Add(2)
+	r.Counter("b_total", "b.", L("k", "1")).Add(1)
+	r.Counter("a_total", "a.").Add(5)
+	r.VolatileCounter("v_total", "v.").Inc()
+	var keys []string
+	r.Visit(func(name string, labels []Label, v float64) {
+		k := name
+		for _, l := range labels {
+			k += "{" + l.Key + "=" + l.Value + "}"
+		}
+		keys = append(keys, k)
+	})
+	want := []string{"a_total", "b_total{k=1}", "b_total{k=2}"}
+	if len(keys) != len(want) {
+		t.Fatalf("visited %v, want %v", keys, want)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("visited %v, want %v", keys, want)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestExportSortsInterleavedSpans records shard spans from goroutines in a
+// scrambled order and checks the export is the same tree a serial run would
+// produce: siblings sorted by (start, order, name), IDs depth-first.
+func TestExportSortsInterleavedSpans(t *testing.T) {
+	tc := NewTracer()
+	tr := tc.Trace("campaign")
+	root := tr.Start("build", 0)
+	var wg sync.WaitGroup
+	for _, i := range []int{3, 0, 2, 1} {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			root.Child("shard", 0).SetOrder(i).SetAttrInt("shard", int64(i)).End(1)
+		}(i)
+	}
+	wg.Wait()
+	root.End(1)
+
+	out := tr.Export()
+	if len(out.Roots) != 1 || out.Roots[0].Name != "build" {
+		t.Fatalf("roots = %+v", out.Roots)
+	}
+	kids := out.Roots[0].Children
+	if len(kids) != 4 {
+		t.Fatalf("children = %d, want 4", len(kids))
+	}
+	for i, k := range kids {
+		if k.Attrs["shard"] != itoa(int64(i)) {
+			t.Errorf("child %d has shard attr %q", i, k.Attrs["shard"])
+		}
+		if k.ID != i+1 {
+			t.Errorf("child %d has ID %d, want DFS order %d", i, k.ID, i+1)
+		}
+	}
+}
+
+func TestTraceCapDropsInsteadOfEvicting(t *testing.T) {
+	tc := NewTracer()
+	tc.cap = 2
+	tr := tc.Trace("tiny")
+	a := tr.Start("a", 0)
+	tr.Start("b", 1)
+	tr.Start("c", 2) // over cap: dropped, not evicting a
+	a.Child("under-dropped", 3)
+	out := tr.Export()
+	if out.Spans != 2 || out.Dropped != 2 {
+		t.Fatalf("spans=%d dropped=%d, want 2/2", out.Spans, out.Dropped)
+	}
+	if out.Roots[0].Name != "a" {
+		t.Fatalf("first span should survive, got %q", out.Roots[0].Name)
+	}
+}
+
+func TestChildOfDroppedSpanBecomesRootless(t *testing.T) {
+	tc := NewTracer()
+	tc.cap = 1
+	tr := tc.Trace("tiny")
+	tr.Start("kept", 0)
+	dropped := tr.Start("dropped", 1)
+	dropped.Child("orphan", 2) // also over cap: dropped too
+	out := tr.Export()
+	if out.Spans != 1 || out.Dropped != 2 {
+		t.Fatalf("spans=%d dropped=%d, want 1/2", out.Spans, out.Dropped)
+	}
+}
+
+func TestExportAllSortedByName(t *testing.T) {
+	tc := NewTracer()
+	tc.Trace("zeta").Start("z", 0)
+	tc.Trace("alpha").Start("a", 0)
+	b, err := tc.ExportAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(b)
+	if strings.Index(s, `"alpha"`) > strings.Index(s, `"zeta"`) {
+		t.Fatalf("traces not sorted by name:\n%s", s)
+	}
+}
+
+func TestActivateRoutesPackageSpans(t *testing.T) {
+	prev := Swap(NewSet())
+	defer Swap(prev)
+	ActivateTrace("day-1")
+	StartSpan("sweep", 5).End(6)
+	tr, ok := Tracing().Lookup("day-1")
+	if !ok {
+		t.Fatal("day-1 trace missing")
+	}
+	out := tr.Export()
+	if out.Spans != 1 || out.Roots[0].Name != "sweep" {
+		t.Fatalf("export = %+v", out)
+	}
+	if out.Roots[0].StartH != 5 || out.Roots[0].EndH != 6 {
+		t.Fatalf("span times = %v..%v", out.Roots[0].StartH, out.Roots[0].EndH)
+	}
+}

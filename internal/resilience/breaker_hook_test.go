@@ -1,0 +1,137 @@
+package resilience
+
+import (
+	"testing"
+
+	"itmap/internal/simtime"
+)
+
+type transition struct {
+	from, to State
+	at       simtime.Time
+}
+
+func hooked(cfg BreakerConfig) (*Breaker, *[]transition) {
+	b := NewBreaker(cfg)
+	var seen []transition
+	b.OnStateChange = func(from, to State, at simtime.Time) {
+		seen = append(seen, transition{from, to, at})
+	}
+	return b, &seen
+}
+
+// tripOpen drives a closed breaker to open with consecutive failures.
+func tripOpen(b *Breaker, at simtime.Time, threshold int) {
+	for i := 0; i < threshold; i++ {
+		b.Record(at, false)
+	}
+}
+
+func TestBreakerHookHalfOpenToClosedFiresOnce(t *testing.T) {
+	cfg := BreakerConfig{FailThreshold: 2, Cooldown: simtime.Hour}
+	b, seen := hooked(cfg)
+	tripOpen(b, 0, 2)
+	if b.State() != StateOpen {
+		t.Fatalf("state after trip = %v", b.State())
+	}
+	if !b.Allow(2) { // cooldown elapsed: half-open trial granted
+		t.Fatal("trial not granted after cooldown")
+	}
+	if b.State() != StateHalfOpen {
+		t.Fatalf("state after trial grant = %v", b.State())
+	}
+	b.Record(2, true) // trial succeeds
+	if b.State() != StateClosed {
+		t.Fatalf("state after successful trial = %v", b.State())
+	}
+	// A later success while closed must not re-fire the hook.
+	b.Record(3, true)
+	want := []transition{
+		{StateClosed, StateOpen, 0},
+		{StateOpen, StateHalfOpen, 2},
+		{StateHalfOpen, StateClosed, 2},
+	}
+	assertTransitions(t, *seen, want)
+	if countEdge(*seen, StateHalfOpen, StateClosed) != 1 {
+		t.Fatalf("half-open→closed fired %d times, want exactly 1", countEdge(*seen, StateHalfOpen, StateClosed))
+	}
+}
+
+func TestBreakerHookHalfOpenToOpenFiresOnce(t *testing.T) {
+	cfg := BreakerConfig{FailThreshold: 2, Cooldown: simtime.Hour}
+	b, seen := hooked(cfg)
+	tripOpen(b, 0, 2)
+	if !b.Allow(2) {
+		t.Fatal("trial not granted after cooldown")
+	}
+	b.Record(2, false) // trial fails: re-open, cooldown restarts at 2
+	if b.State() != StateOpen {
+		t.Fatalf("state after failed trial = %v", b.State())
+	}
+	if b.Allow(2.5) { // still cooling down from the re-open
+		t.Fatal("request allowed during restarted cooldown")
+	}
+	want := []transition{
+		{StateClosed, StateOpen, 0},
+		{StateOpen, StateHalfOpen, 2},
+		{StateHalfOpen, StateOpen, 2},
+	}
+	assertTransitions(t, *seen, want)
+	if countEdge(*seen, StateHalfOpen, StateOpen) != 1 {
+		t.Fatalf("half-open→open fired %d times, want exactly 1", countEdge(*seen, StateHalfOpen, StateOpen))
+	}
+}
+
+func TestBreakerRepeatedAllowGrantsOneHalfOpenTransition(t *testing.T) {
+	cfg := BreakerConfig{FailThreshold: 1, Cooldown: simtime.Hour}
+	b, seen := hooked(cfg)
+	tripOpen(b, 0, 1)
+	b.Allow(2)
+	b.Allow(2.1) // still half-open: no second open→half-open edge
+	if got := countEdge(*seen, StateOpen, StateHalfOpen); got != 1 {
+		t.Fatalf("open→half-open fired %d times, want 1", got)
+	}
+}
+
+func TestBreakerNilHookBehaviorUnchanged(t *testing.T) {
+	cfg := BreakerConfig{FailThreshold: 2, Cooldown: simtime.Hour}
+	a := NewBreaker(cfg)
+	b, _ := hooked(cfg)
+	script := []struct {
+		at simtime.Time
+		ok bool
+	}{{0, false}, {0.1, false}, {2, true}, {3, false}, {3.1, false}, {5.5, false}}
+	for _, s := range script {
+		if ga, gb := a.Allow(s.at), b.Allow(s.at); ga != gb {
+			t.Fatalf("Allow(%v) diverges with hook: %v vs %v", s.at, ga, gb)
+		}
+		a.Record(s.at, s.ok)
+		b.Record(s.at, s.ok)
+	}
+	if a.Opens != b.Opens || a.State() != b.State() {
+		t.Fatalf("hooked breaker diverged: opens %d/%d state %v/%v",
+			a.Opens, b.Opens, a.State(), b.State())
+	}
+}
+
+func assertTransitions(t *testing.T, got, want []transition) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("transitions = %+v, want %+v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("transition %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func countEdge(ts []transition, from, to State) int {
+	n := 0
+	for _, tr := range ts {
+		if tr.from == from && tr.to == to {
+			n++
+		}
+	}
+	return n
+}

@@ -3,6 +3,7 @@ package traffic
 import (
 	"sort"
 
+	"itmap/internal/obs"
 	"itmap/internal/parallel"
 	"itmap/internal/randx"
 	"itmap/internal/services"
@@ -150,10 +151,13 @@ func (m *Model) BuildMatrixWorkers(workers int) *Matrix {
 	if shards > n {
 		shards = n
 	}
+	root := obs.StartSpan("traffic.build_matrix", 0).
+		SetAttrInt("client_ases", int64(n)).SetAttrInt("shards", int64(shards))
 	accs := make([]*shardAcc, shards)
 	if shards > 0 {
 		per := (n + shards - 1) / shards
 		parallel.ForEach(shards, workers, func(s int) {
+			sp := root.Child("shard", 0).SetOrder(s).SetAttrInt("shard", int64(s))
 			lo, hi := s*per, (s+1)*per
 			if hi > n {
 				hi = n
@@ -163,9 +167,11 @@ func (m *Model) BuildMatrixWorkers(workers int) *Matrix {
 				m.accumulateClientAS(acc, li, ci, asns[ci], ownerIdx, tailHosts)
 			}
 			accs[s] = acc
+			sp.SetAttrInt("flows", int64(len(acc.flows))).End(0)
 		})
 	}
 
+	merge := root.Child("merge", 0).SetOrder(shards)
 	var total *shardAcc
 	if shards > 0 {
 		total = accs[0]
@@ -175,6 +181,7 @@ func (m *Model) BuildMatrixWorkers(workers int) *Matrix {
 	} else {
 		total = newShardAcc(nSvc, 0, 0)
 	}
+	merge.SetAttrInt("shards_merged", int64(shards)).End(0)
 
 	mx := &Matrix{
 		PerService:     total.perService,
@@ -219,6 +226,11 @@ func (m *Model) BuildMatrixWorkers(workers int) *Matrix {
 	for _, acc := range accs {
 		mx.Flows = append(mx.Flows, acc.flows...)
 	}
+	obs.C("itm_traffic_matrix_builds_total", "Ground-truth traffic-matrix builds.").Inc()
+	obs.C("itm_traffic_matrix_shards_total", "Matrix build shards accumulated (fixed layout, never worker-count dependent).").Add(uint64(shards))
+	obs.C("itm_traffic_flows_total", "Aggregated client-to-site flows materialized across all builds.").Add(uint64(len(mx.Flows)))
+	obs.G("itm_traffic_total_bytes", "Daily traffic volume of the most recently built matrix, in bytes.").Set(mx.TotalBytes)
+	root.SetAttrInt("flows", int64(len(mx.Flows))).End(0)
 	return mx
 }
 
