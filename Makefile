@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race cover bench bench-all serve-smoke obs-smoke experiments experiments-md csv examples clean
+.PHONY: all build vet lint test race cover bench bench-all serve-smoke obs-smoke loadgen-smoke experiments experiments-md csv examples clean
 
 all: build vet lint test
 
@@ -46,7 +46,7 @@ bench:
 	@{ $(GO) test -run '^$$' -bench . -benchmem -benchtime 8x ./internal/mapstore/ && \
 	   $(GO) test -run '^$$' -bench 'BenchmarkBuildMatrix$$|BenchmarkBuildMatrixSerial$$|BenchmarkComputeAll$$' -benchmem -benchtime 4x . ; } \
 	| tee bench_serve.out
-	$(GO) run ./cmd/itm-bench -campaign -o BENCH_serve.json < bench_serve.out
+	$(GO) run ./cmd/itm-bench -campaign -loadgen -o BENCH_serve.json < bench_serve.out
 	@rm -f bench_serve.out
 
 # The full benchmark suite (every paper artifact + substrate + ablations).
@@ -97,11 +97,45 @@ obs-smoke:
 	curl -sf http://127.0.0.1:8412/v1/trace/epoch-0 > obs-smoke/trace.json; \
 	grep -q '"name": "traffic.build_matrix"' obs-smoke/trace.json; \
 	grep -q '"name": "mapstore.append"' obs-smoke/trace.json; \
+	grep -q '^# TYPE itm_cache_hits_total counter' obs-smoke/metrics.txt; \
+	grep -q '^# TYPE itm_cache_not_modified_total counter' obs-smoke/metrics.txt; \
+	grep -q '^itm_cache_prebaked_total 3' obs-smoke/metrics.txt; \
 	code=$$(curl -s -o /dev/null -w '%{http_code}' -X POST http://127.0.0.1:8412/v1/top); \
 	test "$$code" = 405 || { echo "obs-smoke: POST /v1/top gave $$code, want 405"; exit 1; }; \
 	grep -q 'event=serve.listening' obs-smoke/events.log; \
-	echo "obs-smoke: OK (metrics families + trace export + 405 + structured events)"
+	echo "obs-smoke: OK (metrics families + cache families + trace export + 405 + structured events)"
 	@rm -rf obs-smoke
+
+# Loadgen smoke: serve a tiny snapshot, replay a short deterministic mix
+# over HTTP twice — against a fresh server each time, since response caches
+# warm as a replay runs — then assert the deterministic counters are
+# byte-identical, the cache actually hit, and the server drained cleanly on
+# SIGTERM.
+loadgen-smoke:
+	@rm -rf lg-smoke && mkdir -p lg-smoke
+	$(GO) build -o lg-smoke/itm-serve ./cmd/itm-serve
+	$(GO) build -o lg-smoke/itm-loadgen ./cmd/itm-loadgen
+	$(GO) run ./cmd/itm -scale tiny -seed 42 export -o lg-smoke/snapshot.json
+	@set -e; \
+	trap 'kill $$pid 2>/dev/null || true' EXIT; \
+	for run in 1 2; do \
+		lg-smoke/itm-serve -addr 127.0.0.1:8413 -snapshot lg-smoke/snapshot.json 2>/dev/null & \
+		pid=$$!; \
+		for i in $$(seq 1 50); do \
+			curl -sf http://127.0.0.1:8413/healthz >/dev/null 2>&1 && break; sleep 0.2; \
+		done; \
+		lg-smoke/itm-loadgen -addr http://127.0.0.1:8413 -seed 7 -n 800 -workers 4 \
+			-counters lg-smoke/counters$$run.json > lg-smoke/summary$$run.txt; \
+		cat lg-smoke/summary$$run.txt; \
+		kill $$pid; \
+		wait $$pid || { echo "loadgen-smoke: itm-serve did not shut down cleanly"; exit 1; }; \
+	done; \
+	cmp -s lg-smoke/counters1.json lg-smoke/counters2.json || \
+		{ echo "loadgen-smoke: deterministic counters differ between runs"; exit 1; }; \
+	ratio=$$(sed -n 's/.*hit_ratio=\([0-9.]*\).*/\1/p' lg-smoke/summary1.txt); \
+	awk "BEGIN {exit !($$ratio > 0)}" || { echo "loadgen-smoke: hit ratio $$ratio not > 0"; exit 1; }; \
+	echo "loadgen-smoke: OK (hit_ratio=$$ratio, byte-identical counters, clean shutdown)"
+	@rm -rf lg-smoke
 
 # Regenerate every table/figure at full scale (exit code reflects PASS/FAIL).
 experiments:

@@ -11,6 +11,12 @@
 // shared — into a "Campaign/obs" entry. Those counters are pure functions
 // of (seed, campaign shape), so they diff cleanly across machines too.
 //
+// With -loadgen it also replays a seeded itm-loadgen mix in-process against
+// a freshly built store and records the client-side deterministic ledger
+// ("Loadgen/counters") plus the server-side response-cache families
+// ("Loadgen/obs", the itm_cache_* counters). Wall-clock QPS/latency never
+// enter the file.
+//
 // Usage:
 //
 //	go test -bench ... -benchmem -benchtime 8x ./... | itm-bench -o BENCH_serve.json
@@ -28,6 +34,8 @@ import (
 	"strings"
 
 	"itmap/internal/experiments"
+	"itmap/internal/loadgen"
+	"itmap/internal/mapstore"
 	"itmap/internal/obs"
 	"itmap/internal/world"
 )
@@ -109,10 +117,43 @@ func campaignCounters(seed int64) (map[string]float64, error) {
 	return vals, nil
 }
 
+// loadgenCounters replays a seeded query mix in-process against a fresh
+// tiny-world store and returns the client-side deterministic ledger plus
+// the server-side itm_cache_* families. Both are pure functions of (world
+// seed, plan seed, request count): key-affinity sharding keeps them
+// worker-count-invariant.
+func loadgenCounters(seed int64) (client, server map[string]float64, err error) {
+	prev := obs.Swap(obs.NewSet())
+	defer obs.Swap(prev)
+	st, err := experiments.BuildEpochStore(world.Build(world.Tiny(seed)), 3, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := loadgen.Run(loadgen.Config{Seed: seed, Requests: 2000, Workers: 4},
+		loadgen.HandlerDoer{Handler: mapstore.NewHandler(st)})
+	if err != nil {
+		return nil, nil, err
+	}
+	server = map[string]float64{}
+	obs.Metrics().Visit(func(name string, labels []obs.Label, value float64) {
+		if !strings.HasPrefix(name, "itm_cache_") {
+			return
+		}
+		key := name
+		for _, l := range labels {
+			key += "{" + l.Key + "=" + l.Value + "}"
+		}
+		server[key] = value
+	})
+	return res.Counters.Flat(), server, nil
+}
+
 func main() {
 	outPath := flag.String("o", "BENCH_serve.json", "output file")
 	campaign := flag.Bool("campaign", false, "also run a tiny seeded campaign and record its stable obs counters")
 	campaignSeed := flag.Int64("campaign-seed", 42, "seed for the -campaign run")
+	loadgenRun := flag.Bool("loadgen", false, "also replay a seeded itm-loadgen mix and record its deterministic counters")
+	loadgenSeed := flag.Int64("loadgen-seed", 7, "seed for the -loadgen replay (world and plan)")
 	flag.Parse()
 
 	results, err := parse(bufio.NewScanner(os.Stdin))
@@ -127,6 +168,15 @@ func main() {
 			os.Exit(1)
 		}
 		results["Campaign/obs"] = vals
+	}
+	if *loadgenRun {
+		client, server, err := loadgenCounters(*loadgenSeed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "itm-bench:", err)
+			os.Exit(1)
+		}
+		results["Loadgen/counters"] = client
+		results["Loadgen/obs"] = server
 	}
 	if len(results) == 0 {
 		fmt.Fprintln(os.Stderr, "itm-bench: no benchmark lines on stdin")

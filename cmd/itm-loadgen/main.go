@@ -1,0 +1,111 @@
+// Command itm-loadgen replays a seeded, deterministic query mix against an
+// itm-serve instance and reports two ledgers: deterministic counters
+// (requests by route, statuses, cache outcomes, body bytes — byte-identical
+// across same-seed runs and worker counts) and a wall-clock performance
+// summary (QPS, p50/p99 latency).
+//
+// Two targets:
+//
+//	itm-loadgen -addr http://localhost:8411        replay over HTTP
+//	itm-loadgen -self                              build a world in-process
+//	                                               and replay against the
+//	                                               same handler stack
+//
+// Usage:
+//
+//	itm-loadgen [-addr URL | -self] [-seed N] [-n N] [-workers N]
+//	            [-alpha F] [-as-pool N] [-reval F] [-counters out.json]
+//	            [-scale tiny|small|default] [-world-seed N] [-epochs N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"itmap/internal/experiments"
+	"itmap/internal/loadgen"
+	"itmap/internal/mapstore"
+	"itmap/internal/world"
+)
+
+func main() {
+	addr := flag.String("addr", "", "base URL of a running itm-serve (e.g. http://localhost:8411)")
+	self := flag.Bool("self", false, "build a simulated world in-process and replay against its handler")
+	seed := flag.Int64("seed", 1, "replay plan seed")
+	n := flag.Int("n", 2000, "total requests to replay")
+	workers := flag.Int("workers", 4, "closed-loop client concurrency")
+	alpha := flag.Float64("alpha", 1.1, "zipf exponent for AS popularity")
+	asPool := flag.Int("as-pool", 64, "top-ranked AS pool the zipf draws from")
+	reval := flag.Float64("reval", 0.8, "probability a revisit sends If-None-Match")
+	countersOut := flag.String("counters", "", "write the deterministic counters JSON here")
+	scale := flag.String("scale", "tiny", "-self world scale: tiny, small, or default")
+	worldSeed := flag.Int64("world-seed", 42, "-self world seed")
+	epochs := flag.Int("epochs", 3, "-self simulated days (one epoch per day)")
+	flag.Parse()
+
+	if err := run(*addr, *self, *scale, *worldSeed, *epochs, loadgen.Config{
+		Base:       *addr,
+		Seed:       *seed,
+		Requests:   *n,
+		Workers:    *workers,
+		Alpha:      *alpha,
+		ASPool:     *asPool,
+		Revalidate: *reval,
+	}, *countersOut); err != nil {
+		fmt.Fprintln(os.Stderr, "itm-loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, self bool, scale string, worldSeed int64, epochs int, cfg loadgen.Config, countersOut string) error {
+	var doer loadgen.Doer
+	switch {
+	case self && addr != "":
+		return fmt.Errorf("-self and -addr are mutually exclusive")
+	case self:
+		var wc world.Config
+		switch scale {
+		case "tiny":
+			wc = world.Tiny(worldSeed)
+		case "small":
+			wc = world.Small(worldSeed)
+		case "default":
+			wc = world.Default(worldSeed)
+		default:
+			return fmt.Errorf("unknown scale %q", scale)
+		}
+		fmt.Fprintf(os.Stderr, "itm-loadgen: building %s world (seed %d, %d epochs)\n", scale, worldSeed, epochs)
+		st, err := experiments.BuildEpochStore(world.Build(wc), epochs, 0)
+		if err != nil {
+			return err
+		}
+		doer = loadgen.HandlerDoer{Handler: mapstore.NewHandler(st)}
+	case addr != "":
+		doer = &http.Client{}
+	default:
+		return fmt.Errorf("need -addr or -self")
+	}
+
+	res, err := loadgen.Run(cfg, doer)
+	if err != nil {
+		return err
+	}
+	c := res.Counters
+	fmt.Printf("itm-loadgen: n=%d workers=%d seed=%d hit_ratio=%.3f not_modified=%d body_bytes=%d\n",
+		c.Total(), cfg.Workers, cfg.Seed, c.HitRatio(), c.NotModified, c.BodyBytes)
+	fmt.Printf("itm-loadgen: wall qps=%.0f p50_ms=%.3f p99_ms=%.3f (machine-dependent, not part of the deterministic ledger)\n",
+		res.Perf.QPS, res.Perf.P50ms, res.Perf.P99ms)
+	if countersOut != "" {
+		blob, err := c.MarshalSorted()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(countersOut, blob, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "itm-loadgen: wrote deterministic counters to %s\n", countersOut)
+	}
+	return nil
+}

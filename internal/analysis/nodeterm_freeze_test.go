@@ -3,11 +3,13 @@ package analysis
 import "testing"
 
 // TestNodetermAllowlistFrozen pins the nodeterm path exemptions to the two
-// seeded substrates. Any other wall-clock use — including the observability
-// layer's HTTP duration bridge — must carry a justified line-level
-// //itmlint:allow, never a new package exemption: line allows are visible at
-// the call site and go stale loudly, path exemptions silently cover a whole
-// package forever.
+// seeded substrates. Any other wall-clock use — the observability layer's
+// HTTP duration bridge, itm-loadgen's latency measurement — must carry a
+// justified line-level //itmlint:allow, never a new package exemption: line
+// allows are visible at the call site and go stale loudly, path exemptions
+// silently cover a whole package forever. In particular, internal/loadgen
+// stays OFF this list even though it times every request: its wall-clock
+// reads feed only the Perf ledger, never the deterministic counters.
 func TestNodetermAllowlistFrozen(t *testing.T) {
 	want := map[string]bool{
 		"internal/simtime": true,

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 
 	"itmap/internal/topology"
 )
@@ -247,12 +248,12 @@ func ImportDocument(r io.Reader) (*MapDocument, error) {
 // services/routes components need live scan objects and are not restored).
 func ImportUsers(doc *MapDocument) (UsersComponent, error) {
 	uc := UsersComponent{
-		ActivePrefixes: map[topology.PrefixID]bool{},
-		PrefixHitRate:  map[topology.PrefixID]float64{},
-		ASActivity:     map[topology.ASN]float64{},
-		Sources:        map[topology.ASN]ActivitySource{},
-		Coverage:       map[topology.PrefixID]Coverage{},
-		ASConfidence:   map[topology.ASN]float64{},
+		ActivePrefixes: make(map[topology.PrefixID]bool, len(doc.ActivePrefixes)),
+		PrefixHitRate:  make(map[topology.PrefixID]float64, len(doc.PrefixHitRates)),
+		ASActivity:     make(map[topology.ASN]float64, len(doc.ASActivity)),
+		Sources:        make(map[topology.ASN]ActivitySource, len(doc.Sources)),
+		Coverage:       make(map[topology.PrefixID]Coverage, len(doc.Coverage)),
+		ASConfidence:   make(map[topology.ASN]float64, len(doc.ASConfidence)),
 	}
 	for _, s := range doc.ActivePrefixes {
 		p, err := parsePrefix(s)
@@ -269,18 +270,18 @@ func ImportUsers(doc *MapDocument) (UsersComponent, error) {
 		uc.PrefixHitRate[p] = hr
 	}
 	for s, act := range doc.ASActivity {
-		var asn uint32
-		if _, err := fmt.Sscanf(s, "%d", &asn); err != nil {
-			return uc, fmt.Errorf("core: bad ASN %q: %w", s, err)
+		asn, err := parseASNKey(s)
+		if err != nil {
+			return uc, err
 		}
-		uc.ASActivity[topology.ASN(asn)] = act
+		uc.ASActivity[asn] = act
 	}
 	for s, src := range doc.Sources {
-		var asn uint32
-		if _, err := fmt.Sscanf(s, "%d", &asn); err != nil {
-			return uc, fmt.Errorf("core: bad ASN %q: %w", s, err)
+		asn, err := parseASNKey(s)
+		if err != nil {
+			return uc, err
 		}
-		uc.Sources[topology.ASN(asn)] = sourceFromString(src)
+		uc.Sources[asn] = sourceFromString(src)
 	}
 	for s, cov := range doc.Coverage {
 		p, err := parsePrefix(s)
@@ -290,28 +291,77 @@ func ImportUsers(doc *MapDocument) (UsersComponent, error) {
 		uc.Coverage[p] = coverageFromString(cov)
 	}
 	for s, v := range doc.ASConfidence {
-		var asn uint32
-		if _, err := fmt.Sscanf(s, "%d", &asn); err != nil {
-			return uc, fmt.Errorf("core: bad ASN %q: %w", s, err)
+		asn, err := parseASNKey(s)
+		if err != nil {
+			return uc, err
 		}
-		uc.ASConfidence[topology.ASN(asn)] = v
+		uc.ASConfidence[asn] = v
 	}
 	return uc, nil
+}
+
+// parseASNKey parses a decimal ASN document key without allocating on the
+// success path (ingest parses tens of thousands per epoch).
+func parseASNKey(s string) (topology.ASN, error) {
+	v, err := strconv.ParseUint(s, 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("core: bad ASN %q: %w", s, err)
+	}
+	return topology.ASN(v), nil
 }
 
 // ParsePrefix parses a /24 in CIDR notation (the form PrefixID.String
 // emits) back to its dense ID.
 func ParsePrefix(s string) (topology.PrefixID, error) { return parsePrefix(s) }
 
+// parsePrefix is hand-rolled rather than fmt.Sscanf-based: it sits under
+// every document sort comparison, codec entry, and users-import key, so the
+// success path must not allocate. Leading zeros are tolerated (as Sscanf
+// did); trailing garbage is rejected.
 func parsePrefix(s string) (topology.PrefixID, error) {
-	var a, b, c, bits int
-	if _, err := fmt.Sscanf(s, "%d.%d.%d.0/%d", &a, &b, &c, &bits); err != nil {
-		return 0, fmt.Errorf("core: bad prefix %q: %w", s, err)
+	bad := func() (topology.PrefixID, error) {
+		return 0, fmt.Errorf("core: bad prefix %q", s)
+	}
+	i := 0
+	octet := func() (int, bool) {
+		start := i
+		v := 0
+		for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+			v = v*10 + int(s[i]-'0')
+			if v > 1<<24 { // cap far above any octet/mask; avoids overflow
+				return 0, false
+			}
+			i++
+		}
+		return v, i > start
+	}
+	a, ok := octet()
+	if !ok || i >= len(s) || s[i] != '.' {
+		return bad()
+	}
+	i++
+	b, ok := octet()
+	if !ok || i >= len(s) || s[i] != '.' {
+		return bad()
+	}
+	i++
+	c, ok := octet()
+	if !ok || i+1 >= len(s) || s[i] != '.' || s[i+1] != '0' {
+		return bad()
+	}
+	i += 2
+	if i >= len(s) || s[i] != '/' {
+		return bad()
+	}
+	i++
+	bits, ok := octet()
+	if !ok || i != len(s) {
+		return bad()
 	}
 	if bits != 24 {
 		return 0, fmt.Errorf("core: prefix %q is not a /24", s)
 	}
-	if a < 0 || a > 255 || b < 0 || b > 255 || c < 0 || c > 255 {
+	if a > 255 || b > 255 || c > 255 {
 		return 0, fmt.Errorf("core: prefix %q has an out-of-range octet", s)
 	}
 	return topology.PrefixID(a<<16 | b<<8 | c), nil

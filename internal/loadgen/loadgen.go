@@ -1,0 +1,403 @@
+// Package loadgen replays a seeded, deterministic query mix against the
+// map store's HTTP API and keeps two ledgers: a deterministic counter set
+// (requests by route, statuses, cache outcomes, body bytes) that is a pure
+// function of (store content, seed, request count) — byte-identical across
+// runs and worker counts — and a wall-clock performance summary (QPS,
+// p50/p99 latency) that is not and is reported separately.
+//
+// Determinism across worker counts comes from key-affinity sharding: the
+// plan is generated once from the seed, then every request for a given URL
+// is routed to the worker that owns hash(URL). Each URL's request sequence
+// is therefore totally ordered no matter how many workers run, so the
+// per-URL conditional-request state machine (first visit fetches, later
+// visits revalidate with If-None-Match) observes the same outcomes, and
+// order-independent counter sums make worker interleaving invisible.
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"itmap/internal/order"
+	"itmap/internal/randx"
+)
+
+// Doer issues one HTTP request (an *http.Client, or an in-process handler
+// bridge). Implementations must be safe for concurrent use.
+type Doer interface {
+	Do(*http.Request) (*http.Response, error)
+}
+
+// Config shapes one replay.
+type Config struct {
+	// Base is the URL prefix requests are issued against (e.g.
+	// "http://localhost:8411"). May be empty for in-process Doers.
+	Base string
+	// Seed drives the whole plan; same seed, same plan, same counters.
+	Seed int64
+	// Requests is the total number of requests to replay.
+	Requests int
+	// Workers is the closed-loop concurrency (default 1).
+	Workers int
+	// Alpha is the zipf exponent for AS popularity (default 1.1): a few
+	// hot ASes absorb most /v1/as traffic, like real consumers would.
+	Alpha float64
+	// ASPool caps how many top-ranked ASes the zipf draws from
+	// (default 64, clamped to the store's ranking).
+	ASPool int
+	// Revalidate is the probability a revisit to an already-seen URL
+	// carries If-None-Match (default 0.8); the rest re-fetch the body, so
+	// the replay exercises both the 304 path and the warm cache path.
+	Revalidate float64
+}
+
+func (c *Config) fill() {
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 1.1
+	}
+	if c.ASPool <= 0 {
+		c.ASPool = 64
+	}
+	if c.Revalidate == 0 {
+		c.Revalidate = 0.8
+	}
+}
+
+// Counters is the deterministic ledger. All maps are keyed by small
+// bounded sets (route patterns, status codes, X-Cache values), and
+// marshaling sorts map keys, so the JSON is byte-identical across runs.
+type Counters struct {
+	// Requests counts issued requests by route pattern.
+	Requests map[string]uint64 `json:"requests"`
+	// Status counts responses by status code.
+	Status map[string]uint64 `json:"status"`
+	// Results counts 200 responses by the server's X-Cache verdict
+	// (hit, miss, bypass, store).
+	Results map[string]uint64 `json:"results"`
+	// NotModified counts 304 revalidations (no body transferred).
+	NotModified uint64 `json:"not_modified"`
+	// BodyBytes sums the body bytes of full responses.
+	BodyBytes uint64 `json:"body_bytes"`
+	// ETagChanges counts full responses whose ETag differed from the one
+	// previously seen for the same URL (zero against a static store).
+	ETagChanges uint64 `json:"etag_changes"`
+}
+
+func newCounters() *Counters {
+	return &Counters{
+		Requests: map[string]uint64{},
+		Status:   map[string]uint64{},
+		Results:  map[string]uint64{},
+	}
+}
+
+func (c *Counters) merge(o *Counters) {
+	for _, k := range order.Keys(o.Requests) {
+		c.Requests[k] += o.Requests[k]
+	}
+	for _, k := range order.Keys(o.Status) {
+		c.Status[k] += o.Status[k]
+	}
+	for _, k := range order.Keys(o.Results) {
+		c.Results[k] += o.Results[k]
+	}
+	c.NotModified += o.NotModified
+	c.BodyBytes += o.BodyBytes
+	c.ETagChanges += o.ETagChanges
+}
+
+// Total is the number of requests replayed.
+func (c *Counters) Total() uint64 {
+	var n uint64
+	for _, k := range order.Keys(c.Requests) {
+		n += c.Requests[k]
+	}
+	return n
+}
+
+// HitRatio is the fraction of requests answered without encoding a body:
+// warm cache hits, zero-copy binary serves, and 304 revalidations.
+func (c *Counters) HitRatio() float64 {
+	total := c.Total()
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Results["hit"]+c.Results["store"]+c.NotModified) / float64(total)
+}
+
+// Flat returns the counters as one flat name→value map, the shape
+// itm-bench folds into BENCH_serve.json.
+func (c *Counters) Flat() map[string]float64 {
+	out := map[string]float64{
+		"not_modified": float64(c.NotModified),
+		"body_bytes":   float64(c.BodyBytes),
+		"etag_changes": float64(c.ETagChanges),
+	}
+	for _, k := range order.Keys(c.Requests) {
+		out["requests{route="+k+"}"] = float64(c.Requests[k])
+	}
+	for _, k := range order.Keys(c.Status) {
+		out["status{code="+k+"}"] = float64(c.Status[k])
+	}
+	for _, k := range order.Keys(c.Results) {
+		out["results{x_cache="+k+"}"] = float64(c.Results[k])
+	}
+	return out
+}
+
+// MarshalSorted renders the counters as indented JSON (map keys sorted by
+// encoding/json), the byte-identity surface the smoke test diffs.
+func (c *Counters) MarshalSorted() ([]byte, error) {
+	b, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// Perf is the wall-clock summary. Machine-dependent by nature; never folded
+// into deterministic artifacts.
+type Perf struct {
+	Seconds float64 `json:"seconds"`
+	QPS     float64 `json:"qps"`
+	P50ms   float64 `json:"p50_ms"`
+	P99ms   float64 `json:"p99_ms"`
+}
+
+// Result bundles one replay's two ledgers.
+type Result struct {
+	Counters *Counters `json:"counters"`
+	Perf     Perf      `json:"perf"`
+}
+
+// request is one planned probe: a URL and whether a revisit should
+// revalidate (send If-None-Match) instead of re-fetching the body.
+type request struct {
+	url        string
+	route      string
+	revalidate bool
+}
+
+// storeShape is what the plan generator needs to know about the target:
+// how many epochs exist and which ASes are worth querying.
+type storeShape struct {
+	Epochs int
+	ASes   []uint32
+}
+
+// discover bootstraps the store shape from the API itself: the epoch
+// listing for the epoch count, the latest top-K ranking for the AS pool.
+func discover(d Doer, base string, pool int) (storeShape, error) {
+	var sh storeShape
+	var listing struct {
+		Epochs []struct {
+			ID int `json:"id"`
+		} `json:"epochs"`
+	}
+	if err := getJSON(d, base+"/v1/epochs", &listing); err != nil {
+		return sh, err
+	}
+	sh.Epochs = len(listing.Epochs)
+	if sh.Epochs == 0 {
+		return sh, fmt.Errorf("loadgen: store has no epochs")
+	}
+	var top struct {
+		Top []struct {
+			ASN uint32 `json:"asn"`
+		} `json:"top"`
+	}
+	if err := getJSON(d, base+"/v1/top?k="+strconv.Itoa(pool), &top); err != nil {
+		return sh, err
+	}
+	for _, r := range top.Top {
+		sh.ASes = append(sh.ASes, r.ASN)
+	}
+	if len(sh.ASes) == 0 {
+		return sh, fmt.Errorf("loadgen: store ranks no ASes")
+	}
+	return sh, nil
+}
+
+func getJSON(d Doer, url string, v any) error {
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := d.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("loadgen: GET %s: status %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// plan generates the full deterministic request sequence. The mix leans on
+// the interactive routes: rankings and per-AS views dominate, full map
+// fetches (some binary) and diffs fill in — roughly the consumer profile
+// the paper's map targets.
+func plan(cfg Config, sh storeShape) []request {
+	src := randx.New(cfg.Seed)
+	zipf := randx.NewZipf(len(sh.ASes), cfg.Alpha)
+	topKs := []int{10, 10, 10, 5, 20}
+	reqs := make([]request, 0, cfg.Requests)
+	for len(reqs) < cfg.Requests {
+		var r request
+		switch roll := src.Float64(); {
+		case roll < 0.35:
+			r.route = "/v1/top"
+			r.url = "/v1/top?k=" + strconv.Itoa(topKs[src.Intn(len(topKs))])
+		case roll < 0.65:
+			r.route = "/v1/as/{asn}"
+			asn := sh.ASes[zipf.Sample(src)-1]
+			r.url = "/v1/as/" + strconv.FormatUint(uint64(asn), 10)
+		case roll < 0.85:
+			r.route = "/v1/map/{epoch}"
+			r.url = "/v1/map/" + strconv.Itoa(src.Intn(sh.Epochs))
+			if src.Bool(0.25) {
+				r.url += "?format=binary"
+			}
+		default:
+			if sh.Epochs < 2 {
+				r.route = "/v1/top"
+				r.url = "/v1/top?k=" + strconv.Itoa(topKs[src.Intn(len(topKs))])
+				break
+			}
+			r.route = "/v1/diff/{a}/{b}"
+			a := src.Intn(sh.Epochs - 1)
+			r.url = "/v1/diff/" + strconv.Itoa(a) + "/" + strconv.Itoa(a+1)
+		}
+		r.revalidate = src.Bool(cfg.Revalidate)
+		reqs = append(reqs, r)
+	}
+	return reqs
+}
+
+// shardOf routes a URL to its owning worker: all requests for one URL run
+// in one worker, in plan order.
+func shardOf(url string, workers int) int {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(url))
+	return int(h.Sum32() % uint32(workers))
+}
+
+// Run replays the configured mix and returns both ledgers. Any transport
+// error aborts the replay.
+func Run(cfg Config, d Doer) (*Result, error) {
+	cfg.fill()
+	if cfg.Requests <= 0 {
+		return nil, fmt.Errorf("loadgen: Requests must be positive")
+	}
+	sh, err := discover(d, cfg.Base, cfg.ASPool)
+	if err != nil {
+		return nil, err
+	}
+	reqs := plan(cfg, sh)
+
+	shards := make([][]request, cfg.Workers)
+	for _, r := range reqs {
+		w := shardOf(r.url, cfg.Workers)
+		shards[w] = append(shards[w], r)
+	}
+
+	counters := make([]*Counters, cfg.Workers)
+	lats := make([][]time.Duration, cfg.Workers)
+	errs := make([]error, cfg.Workers)
+	var wg sync.WaitGroup
+	//itmlint:allow nodeterm loadgen measures real serving wall time (Perf ledger only)
+	start := time.Now()
+	for w := range shards {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			counters[w], lats[w], errs[w] = runWorker(cfg.Base, d, shards[w])
+		}(w)
+	}
+	wg.Wait()
+	//itmlint:allow nodeterm loadgen measures real serving wall time (Perf ledger only)
+	elapsed := time.Since(start)
+
+	res := &Result{Counters: newCounters()}
+	var all []time.Duration
+	for w := range shards {
+		if errs[w] != nil {
+			return nil, errs[w]
+		}
+		res.Counters.merge(counters[w])
+		all = append(all, lats[w]...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	res.Perf.Seconds = elapsed.Seconds()
+	if res.Perf.Seconds > 0 {
+		res.Perf.QPS = float64(len(reqs)) / res.Perf.Seconds
+	}
+	if len(all) > 0 {
+		res.Perf.P50ms = float64(all[len(all)/2].Microseconds()) / 1e3
+		res.Perf.P99ms = float64(all[len(all)*99/100].Microseconds()) / 1e3
+	}
+	return res, nil
+}
+
+// runWorker drives one shard's closed loop, tracking per-URL ETags so
+// revisits can revalidate.
+func runWorker(base string, d Doer, reqs []request) (*Counters, []time.Duration, error) {
+	c := newCounters()
+	lats := make([]time.Duration, 0, len(reqs))
+	etags := map[string]string{}
+	for _, r := range reqs {
+		req, err := http.NewRequest(http.MethodGet, base+r.url, nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		seen := etags[r.url]
+		if r.revalidate && seen != "" {
+			req.Header.Set("If-None-Match", seen)
+		}
+		//itmlint:allow nodeterm loadgen measures real serving wall time (Perf ledger only)
+		t0 := time.Now()
+		resp, err := d.Do(req)
+		if err != nil {
+			return nil, nil, err
+		}
+		body, err := io.ReadAll(resp.Body)
+		_ = resp.Body.Close()
+		if err != nil {
+			return nil, nil, err
+		}
+		//itmlint:allow nodeterm loadgen measures real serving wall time (Perf ledger only)
+		lats = append(lats, time.Since(t0))
+
+		c.Requests[r.route]++
+		c.Status[strconv.Itoa(resp.StatusCode)]++
+		switch resp.StatusCode {
+		case http.StatusOK:
+			c.BodyBytes += uint64(len(body))
+			if x := resp.Header.Get("X-Cache"); x != "" {
+				c.Results[x]++
+			}
+			if tag := resp.Header.Get("ETag"); tag != "" {
+				if seen != "" && tag != seen {
+					c.ETagChanges++
+				}
+				etags[r.url] = tag
+			}
+		case http.StatusNotModified:
+			c.NotModified++
+		default:
+			return nil, nil, fmt.Errorf("loadgen: GET %s: status %d: %s", r.url, resp.StatusCode, body)
+		}
+	}
+	return c, lats, nil
+}

@@ -1,0 +1,116 @@
+package loadgen
+
+import (
+	"bytes"
+	"testing"
+
+	"itmap/internal/experiments"
+	"itmap/internal/mapstore"
+	"itmap/internal/obs"
+	"itmap/internal/world"
+)
+
+// replayStore builds a small static store. Each replay gets a fresh one:
+// the deterministic-ledger contract is per (initial store state, seed),
+// and response caches warm as a replay runs.
+func replayStore(t *testing.T) *mapstore.Store {
+	t.Helper()
+	s, err := experiments.BuildEpochStore(world.Build(world.Tiny(7)), 3, 0)
+	if err != nil {
+		t.Fatalf("BuildEpochStore: %v", err)
+	}
+	return s
+}
+
+func replay(t *testing.T, seed int64, workers int) *Counters {
+	t.Helper()
+	res, err := Run(Config{Seed: seed, Requests: 600, Workers: workers},
+		HandlerDoer{Handler: mapstore.NewHandler(replayStore(t))})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res.Counters
+}
+
+func TestSameSeedSameCounters(t *testing.T) {
+	a, err := replay(t, 1, 4).MarshalSorted()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := replay(t, 1, 4).MarshalSorted()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Errorf("same-seed replays diverged:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestWorkerCountInvariance(t *testing.T) {
+	// Key-affinity sharding makes the deterministic ledger independent of
+	// concurrency: 1 worker and 4 workers must observe identical counters.
+	one, err := replay(t, 2, 1).MarshalSorted()
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := replay(t, 2, 4).MarshalSorted()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(one, four) {
+		t.Errorf("worker counts changed the deterministic ledger:\nworkers=1:\n%s\nworkers=4:\n%s", one, four)
+	}
+}
+
+func TestReplayExercisesCache(t *testing.T) {
+	c := replay(t, 3, 2)
+	if got := c.Total(); got != 600 {
+		t.Fatalf("Total = %d, want 600", got)
+	}
+	if c.HitRatio() == 0 {
+		t.Error("HitRatio = 0: replay never hit the cache or revalidated")
+	}
+	if c.NotModified == 0 {
+		t.Error("replay produced no 304s: If-None-Match path untested")
+	}
+	if c.Results["store"] == 0 {
+		t.Error("replay produced no zero-copy binary serves")
+	}
+	if c.ETagChanges != 0 {
+		t.Errorf("ETagChanges = %d against a static store, want 0", c.ETagChanges)
+	}
+	for _, route := range []string{"/v1/top", "/v1/as/{asn}", "/v1/map/{epoch}", "/v1/diff/{a}/{b}"} {
+		if c.Requests[route] == 0 {
+			t.Errorf("route %s never requested", route)
+		}
+	}
+}
+
+// TestServerCountersDeterministic pins the *server-side* cache counters:
+// replaying the same plan against a fresh store must produce identical
+// itm_cache_* totals regardless of worker count, because each URL's
+// request sequence is serialized by key affinity.
+func TestServerCountersDeterministic(t *testing.T) {
+	dump := func(workers int) string {
+		prev := obs.Swap(obs.NewSet())
+		defer obs.Swap(prev)
+		s, err := experiments.BuildEpochStore(world.Build(world.Tiny(7)), 3, 0)
+		if err != nil {
+			t.Fatalf("BuildEpochStore: %v", err)
+		}
+		if _, err := Run(Config{Seed: 5, Requests: 600, Workers: workers},
+			HandlerDoer{Handler: mapstore.NewHandler(s)}); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := obs.Metrics().WritePrometheus(&buf, false); err != nil {
+			t.Fatalf("WritePrometheus: %v", err)
+		}
+		return buf.String()
+	}
+	one := dump(1)
+	four := dump(4)
+	if one != four {
+		t.Errorf("server counters differ between worker counts:\nworkers=1:\n%s\nworkers=4:\n%s", one, four)
+	}
+}

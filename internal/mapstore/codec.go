@@ -12,6 +12,7 @@ import (
 	"math"
 	"sort"
 	"strconv"
+	"sync"
 
 	"itmap/internal/core"
 	"itmap/internal/obs"
@@ -85,6 +86,38 @@ const maxPrefixID = 1<<24 - 1
 
 type encoder struct {
 	buf []byte
+
+	// Reusable scratch (pooled): sort staging for every section plus the
+	// interned string table. Encoding a steady stream of epochs allocates
+	// only the exact-size output slice once the pool is warm.
+	actives  []topology.PrefixID
+	pEntries []prefixEntry
+	aEntries []asnEntry
+	servers  []core.ServerDocument
+	mappings []core.MappingDocument
+	table    []string
+	seen     map[string]bool
+	ref      map[string]uint64
+}
+
+// encPool recycles encoder scratch across EncodeDocument calls. The output
+// buffer is cloned to exact size before release, so pooled state never
+// escapes.
+var encPool = sync.Pool{New: func() any {
+	return &encoder{seen: map[string]bool{}, ref: map[string]uint64{}}
+}}
+
+// reset clears the scratch for reuse, keeping capacity.
+func (e *encoder) reset() {
+	e.buf = e.buf[:0]
+	e.actives = e.actives[:0]
+	e.pEntries = e.pEntries[:0]
+	e.aEntries = e.aEntries[:0]
+	e.servers = e.servers[:0]
+	e.mappings = e.mappings[:0]
+	e.table = e.table[:0]
+	clear(e.seen)
+	clear(e.ref)
 }
 
 func (e *encoder) uvarint(v uint64) { e.buf = binary.AppendUvarint(e.buf, v) }
@@ -132,7 +165,9 @@ func EncodeDocument(doc *core.MapDocument) ([]byte, error) {
 	if doc == nil {
 		return nil, fmt.Errorf("%w: nil document", ErrEncode)
 	}
-	e := &encoder{buf: make([]byte, 0, 1024)}
+	e := encPool.Get().(*encoder)
+	defer encPool.Put(e)
+	e.reset()
 	e.raw(Magic[:])
 	e.uvarint(CodecVersion)
 	if doc.Version < 0 {
@@ -141,8 +176,9 @@ func EncodeDocument(doc *core.MapDocument) ([]byte, error) {
 	e.uvarint(uint64(doc.Version))
 
 	// String table: every server org/city/country and mapping domain,
-	// deduplicated and sorted.
-	seen := map[string]bool{}
+	// deduplicated and sorted. seen and table are pooled and pre-sized by
+	// reuse, so steady-state interning allocates nothing.
+	seen := e.seen
 	for i := range doc.Servers {
 		seen[doc.Servers[i].Org] = true
 		seen[doc.Servers[i].City] = true
@@ -151,12 +187,16 @@ func EncodeDocument(doc *core.MapDocument) ([]byte, error) {
 	for i := range doc.Mappings {
 		seen[doc.Mappings[i].Domain] = true
 	}
-	table := make([]string, 0, len(seen))
+	if cap(e.table) < len(seen) {
+		e.table = make([]string, 0, len(seen))
+	}
+	table := e.table
 	for s := range seen {
 		table = append(table, s)
 	}
 	sort.Strings(table)
-	ref := make(map[string]uint64, len(table))
+	e.table = table
+	ref := e.ref
 	for i, s := range table {
 		ref[s] = uint64(i)
 	}
@@ -167,7 +207,10 @@ func EncodeDocument(doc *core.MapDocument) ([]byte, error) {
 	}
 
 	// Active prefixes.
-	actives := make([]topology.PrefixID, 0, len(doc.ActivePrefixes))
+	if cap(e.actives) < len(doc.ActivePrefixes) {
+		e.actives = make([]topology.PrefixID, 0, len(doc.ActivePrefixes))
+	}
+	actives := e.actives
 	for _, s := range doc.ActivePrefixes {
 		p, err := parseDocPrefix(s)
 		if err != nil {
@@ -176,6 +219,7 @@ func EncodeDocument(doc *core.MapDocument) ([]byte, error) {
 		actives = append(actives, p)
 	}
 	sort.Slice(actives, func(i, j int) bool { return actives[i] < actives[j] })
+	e.actives = actives
 	for i := 1; i < len(actives); i++ {
 		if actives[i] == actives[i-1] {
 			return nil, fmt.Errorf("%w: duplicate active prefix %v", ErrEncode, actives[i])
@@ -211,9 +255,13 @@ func EncodeDocument(doc *core.MapDocument) ([]byte, error) {
 
 	// Servers, sorted by the full field tuple so ties on prefix still
 	// have one canonical order.
-	servers := make([]core.ServerDocument, len(doc.Servers))
+	if cap(e.servers) < len(doc.Servers) {
+		e.servers = make([]core.ServerDocument, len(doc.Servers))
+	}
+	servers := e.servers[:len(doc.Servers)]
 	copy(servers, doc.Servers)
 	sort.Slice(servers, func(i, j int) bool { return serverTupleLess(&servers[i], &servers[j]) })
+	e.servers = servers
 	e.uvarint(uint64(len(servers)))
 	for i := range servers {
 		s := &servers[i]
@@ -231,7 +279,10 @@ func EncodeDocument(doc *core.MapDocument) ([]byte, error) {
 
 	// Mappings, sorted by (domain, client AS); the key is unique, so
 	// canonical order is strictly ascending.
-	mappings := make([]core.MappingDocument, len(doc.Mappings))
+	if cap(e.mappings) < len(doc.Mappings) {
+		e.mappings = make([]core.MappingDocument, len(doc.Mappings))
+	}
+	mappings := e.mappings[:len(doc.Mappings)]
 	copy(mappings, doc.Mappings)
 	sort.Slice(mappings, func(i, j int) bool {
 		a, b := &mappings[i], &mappings[j]
@@ -256,8 +307,13 @@ func EncodeDocument(doc *core.MapDocument) ([]byte, error) {
 		e.uvarint(uint64(m.ClientAS))
 		e.uvarint(uint64(p))
 	}
+	e.mappings = mappings
 	obs.C("itm_codec_encoded_bytes_total", "ITMB bytes produced by document encodes.").Add(uint64(len(e.buf)))
-	return e.buf, nil
+	// Exact-size clone: the pooled buffer stays with the encoder; callers
+	// retain only their own bytes.
+	out := make([]byte, len(e.buf))
+	copy(out, e.buf)
+	return out, nil
 }
 
 func serverTupleLess(a, b *core.ServerDocument) bool {
@@ -284,8 +340,25 @@ func serverTupleLess(a, b *core.ServerDocument) bool {
 	return a.Country < b.Country
 }
 
+// prefixScratch returns the pooled prefix-entry staging slice, emptied and
+// grown to hold n entries.
+func (e *encoder) prefixScratch(n int) []prefixEntry {
+	if cap(e.pEntries) < n {
+		e.pEntries = make([]prefixEntry, 0, n)
+	}
+	return e.pEntries[:0]
+}
+
+// asnScratch is prefixScratch for ASN-keyed sections.
+func (e *encoder) asnScratch(n int) []asnEntry {
+	if cap(e.aEntries) < n {
+		e.aEntries = make([]asnEntry, 0, n)
+	}
+	return e.aEntries[:0]
+}
+
 func (e *encoder) prefixFloats(m map[string]float64) error {
-	entries := make([]prefixEntry, 0, len(m))
+	entries := e.prefixScratch(len(m))
 	for s, v := range m {
 		p, err := parseDocPrefix(s)
 		if err != nil {
@@ -293,6 +366,7 @@ func (e *encoder) prefixFloats(m map[string]float64) error {
 		}
 		entries = append(entries, prefixEntry{p: p, f: v})
 	}
+	e.pEntries = entries
 	sort.Slice(entries, func(i, j int) bool { return entries[i].p < entries[j].p })
 	e.uvarint(uint64(len(entries)))
 	prev := topology.PrefixID(0)
@@ -309,7 +383,7 @@ func (e *encoder) prefixFloats(m map[string]float64) error {
 }
 
 func (e *encoder) prefixCodes(m map[string]string, table []string, what string) error {
-	entries := make([]prefixEntry, 0, len(m))
+	entries := e.prefixScratch(len(m))
 	for s, v := range m {
 		p, err := parseDocPrefix(s)
 		if err != nil {
@@ -321,6 +395,7 @@ func (e *encoder) prefixCodes(m map[string]string, table []string, what string) 
 		}
 		entries = append(entries, prefixEntry{p: p, c: c})
 	}
+	e.pEntries = entries
 	sort.Slice(entries, func(i, j int) bool { return entries[i].p < entries[j].p })
 	e.uvarint(uint64(len(entries)))
 	prev := topology.PrefixID(0)
@@ -337,7 +412,7 @@ func (e *encoder) prefixCodes(m map[string]string, table []string, what string) 
 }
 
 func (e *encoder) asnFloats(m map[string]float64) error {
-	entries := make([]asnEntry, 0, len(m))
+	entries := e.asnScratch(len(m))
 	for s, v := range m {
 		asn, err := parseASN(s)
 		if err != nil {
@@ -345,6 +420,7 @@ func (e *encoder) asnFloats(m map[string]float64) error {
 		}
 		entries = append(entries, asnEntry{asn: asn, f: v})
 	}
+	e.aEntries = entries
 	sort.Slice(entries, func(i, j int) bool { return entries[i].asn < entries[j].asn })
 	e.uvarint(uint64(len(entries)))
 	prev := uint32(0)
@@ -361,7 +437,7 @@ func (e *encoder) asnFloats(m map[string]float64) error {
 }
 
 func (e *encoder) asnCodes(m map[string]string, table []string, what string) error {
-	entries := make([]asnEntry, 0, len(m))
+	entries := e.asnScratch(len(m))
 	for s, v := range m {
 		asn, err := parseASN(s)
 		if err != nil {
@@ -373,6 +449,7 @@ func (e *encoder) asnCodes(m map[string]string, table []string, what string) err
 		}
 		entries = append(entries, asnEntry{asn: asn, c: c})
 	}
+	e.aEntries = entries
 	sort.Slice(entries, func(i, j int) bool { return entries[i].asn < entries[j].asn })
 	e.uvarint(uint64(len(entries)))
 	prev := uint32(0)

@@ -12,66 +12,89 @@ import (
 )
 
 // buildIndexes derives the query-side structures from the canonical
-// document. Called once at ingest; everything it builds is immutable.
-func (e *Epoch) buildIndexes() error {
+// document. Called once at ingest; everything it builds is immutable, so
+// when a document section is structurally shared with the previous epoch
+// (per the shared bitmask), the index built from it is reused outright.
+func (e *Epoch) buildIndexes(prev *Epoch, shared uint) error {
 	doc := e.Doc
-	e.activity = make(map[uint32]float64, len(doc.ASActivity))
-	for _, s := range order.Keys(doc.ASActivity) {
-		asn, err := strconv.ParseUint(s, 10, 32)
-		if err != nil {
-			return fmt.Errorf("mapstore: bad ASN key %q: %w", s, err)
+	if prev != nil && shared&secActivity != 0 {
+		e.activity, e.totalAct, e.ranked = prev.activity, prev.totalAct, prev.ranked
+	} else {
+		e.activity = make(map[uint32]float64, len(doc.ASActivity))
+		for _, s := range order.Keys(doc.ASActivity) {
+			asn, err := strconv.ParseUint(s, 10, 32)
+			if err != nil {
+				return fmt.Errorf("mapstore: bad ASN key %q: %w", s, err)
+			}
+			v := doc.ASActivity[s]
+			e.activity[uint32(asn)] = v
+			e.totalAct += v
 		}
-		v := doc.ASActivity[s]
-		e.activity[uint32(asn)] = v
-		e.totalAct += v
-	}
-	e.ranked = make([]ASRank, 0, len(e.activity))
-	for _, asn := range order.Keys(e.activity) {
-		r := ASRank{ASN: asn, Activity: e.activity[asn]}
-		if e.totalAct > 0 {
-			r.Share = r.Activity / e.totalAct
+		e.ranked = make([]ASRank, 0, len(e.activity))
+		for _, asn := range order.Keys(e.activity) {
+			r := ASRank{ASN: asn, Activity: e.activity[asn]}
+			if e.totalAct > 0 {
+				r.Share = r.Activity / e.totalAct
+			}
+			e.ranked = append(e.ranked, r)
 		}
-		e.ranked = append(e.ranked, r)
-	}
-	sort.SliceStable(e.ranked, func(i, j int) bool {
-		if e.ranked[i].Activity != e.ranked[j].Activity {
-			return e.ranked[i].Activity > e.ranked[j].Activity
-		}
-		return e.ranked[i].ASN < e.ranked[j].ASN
-	})
-
-	e.sources = make(map[uint32]string, len(doc.Sources))
-	for _, s := range order.Keys(doc.Sources) {
-		asn, err := strconv.ParseUint(s, 10, 32)
-		if err != nil {
-			return fmt.Errorf("mapstore: bad ASN key %q: %w", s, err)
-		}
-		e.sources[uint32(asn)] = doc.Sources[s]
-	}
-	e.confidence = make(map[uint32]float64, len(doc.ASConfidence))
-	for _, s := range order.Keys(doc.ASConfidence) {
-		asn, err := strconv.ParseUint(s, 10, 32)
-		if err != nil {
-			return fmt.Errorf("mapstore: bad ASN key %q: %w", s, err)
-		}
-		e.confidence[uint32(asn)] = doc.ASConfidence[s]
+		sort.SliceStable(e.ranked, func(i, j int) bool {
+			if e.ranked[i].Activity != e.ranked[j].Activity {
+				return e.ranked[i].Activity > e.ranked[j].Activity
+			}
+			return e.ranked[i].ASN < e.ranked[j].ASN
+		})
 	}
 
-	e.serverAt = make(map[string]int, len(doc.Servers))
-	for i := range doc.Servers {
-		// First entry wins on (theoretical) duplicate prefixes; servers
-		// are sorted, so "first" is canonical.
-		if _, ok := e.serverAt[doc.Servers[i].Prefix]; !ok {
-			e.serverAt[doc.Servers[i].Prefix] = i
+	if prev != nil && shared&secSources != 0 {
+		e.sources = prev.sources
+	} else {
+		e.sources = make(map[uint32]string, len(doc.Sources))
+		for _, s := range order.Keys(doc.Sources) {
+			asn, err := strconv.ParseUint(s, 10, 32)
+			if err != nil {
+				return fmt.Errorf("mapstore: bad ASN key %q: %w", s, err)
+			}
+			e.sources[uint32(asn)] = doc.Sources[s]
 		}
 	}
-	e.mappingsBy = make(map[uint32][]int)
-	e.hostPop = map[uint32]int{}
-	for i := range doc.Mappings {
-		m := &doc.Mappings[i]
-		e.mappingsBy[m.ClientAS] = append(e.mappingsBy[m.ClientAS], i)
-		if si, ok := e.serverAt[m.Serving]; ok {
-			e.hostPop[doc.Servers[si].HostAS]++
+	if prev != nil && shared&secConfidence != 0 {
+		e.confidence = prev.confidence
+	} else {
+		e.confidence = make(map[uint32]float64, len(doc.ASConfidence))
+		for _, s := range order.Keys(doc.ASConfidence) {
+			asn, err := strconv.ParseUint(s, 10, 32)
+			if err != nil {
+				return fmt.Errorf("mapstore: bad ASN key %q: %w", s, err)
+			}
+			e.confidence[uint32(asn)] = doc.ASConfidence[s]
+		}
+	}
+
+	if prev != nil && shared&secServers != 0 {
+		e.serverAt = prev.serverAt
+	} else {
+		e.serverAt = make(map[string]int, len(doc.Servers))
+		for i := range doc.Servers {
+			// First entry wins on (theoretical) duplicate prefixes; servers
+			// are sorted, so "first" is canonical.
+			if _, ok := e.serverAt[doc.Servers[i].Prefix]; !ok {
+				e.serverAt[doc.Servers[i].Prefix] = i
+			}
+		}
+	}
+	// The mapping indexes read both sections: only reuse when neither moved.
+	if prev != nil && shared&(secServers|secMappings) == secServers|secMappings {
+		e.mappingsBy, e.hostPop = prev.mappingsBy, prev.hostPop
+	} else {
+		e.mappingsBy = make(map[uint32][]int)
+		e.hostPop = map[uint32]int{}
+		for i := range doc.Mappings {
+			m := &doc.Mappings[i]
+			e.mappingsBy[m.ClientAS] = append(e.mappingsBy[m.ClientAS], i)
+			if si, ok := e.serverAt[m.Serving]; ok {
+				e.hostPop[doc.Servers[si].HostAS]++
+			}
 		}
 	}
 	return nil
@@ -104,8 +127,9 @@ func (e *Epoch) Info() Info {
 }
 
 // Infos lists every epoch's metadata, oldest first.
-func (s *Store) Infos() []Info {
-	es := s.Snapshot()
+func (s *Store) Infos() []Info { return infosIn(s.Snapshot()) }
+
+func infosIn(es []*Epoch) []Info {
 	out := make([]Info, len(es))
 	for i, e := range es {
 		out[i] = e.Info()
@@ -202,7 +226,12 @@ type EpochValue struct {
 // ASActivitySeries tracks one AS's activity across every epoch — the
 // longitudinal view the paper's "Daily" refresh target implies.
 func (s *Store) ASActivitySeries(asn uint32) []EpochValue {
-	es := s.Snapshot()
+	return seriesIn(s.Snapshot(), asn)
+}
+
+// seriesIn is ASActivitySeries over an explicit epoch view, so a handler
+// can keep one snapshot consistent across a whole response.
+func seriesIn(es []*Epoch, asn uint32) []EpochValue {
 	out := make([]EpochValue, len(es))
 	for i, e := range es {
 		out[i] = EpochValue{Epoch: e.ID, At: e.At, Activity: e.activity[asn]}
@@ -269,12 +298,18 @@ func (s *Store) Diff(a, b int, minShift float64) (*DiffDocument, error) {
 	if !ok {
 		return nil, fmt.Errorf("mapstore: no epoch %d", b)
 	}
+	return diffEpochs(ea, eb, minShift), nil
+}
+
+// diffEpochs compares two resolved epochs (the cacheable inner form: the
+// pair is immutable, so the result never changes).
+func diffEpochs(ea, eb *Epoch, minShift float64) *DiffDocument {
 	ma := &core.TrafficMap{Users: ea.users}
 	mb := &core.TrafficMap{Users: eb.users}
 	d := core.DiffMaps(ma, mb, minShift)
 	out := &DiffDocument{
-		EpochA:         a,
-		EpochB:         b,
+		EpochA:         ea.ID,
+		EpochB:         eb.ID,
 		AtA:            ea.At,
 		AtB:            eb.At,
 		StablePrefixes: d.StablePrefixes,
@@ -294,5 +329,5 @@ func (s *Store) Diff(a, b int, minShift float64) (*DiffDocument, error) {
 			ASN: uint32(sh.ASN), Before: sh.Before, After: sh.After, Delta: sh.Delta(),
 		})
 	}
-	return out, nil
+	return out
 }

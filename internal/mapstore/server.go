@@ -20,8 +20,12 @@ import (
 //	GET /v1/link/{a}/{b}?epoch=   ground-truth link load (if ingested)
 //
 // The handler only reads store snapshots, so it serves concurrently with
-// ingestion without locking. Responses are deterministic for a given store
-// state: every slice the query layer returns is sorted.
+// ingestion without locking; each request resolves one snapshot up front
+// and answers entirely from it, so a concurrent append can never produce a
+// half-old, half-new response. Responses are deterministic for a given
+// store state — every slice the query layer returns is sorted — and flow
+// through the epoch-keyed response cache (see cache.go): bodies encode
+// once, revalidations answer 304 with zero body work.
 func NewHandler(s *Store) http.Handler {
 	h := &handler{s: s}
 	mux := http.NewServeMux()
@@ -44,6 +48,10 @@ type handler struct {
 	s *Store
 }
 
+// view resolves the request's store snapshot: one atomic load, then every
+// lookup (epoch resolution, series, caching) answers from it.
+func (h *handler) view() *epochList { return h.s.cur.Load() }
+
 type errorBody struct {
 	Error string `json:"error"`
 }
@@ -60,21 +68,61 @@ func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
 }
 
-// epochParam resolves the optional ?epoch= selector (default: latest).
-func (h *handler) epochParam(r *http.Request) (*Epoch, error) {
+// jsonBody renders a value exactly as writeJSON would put it on the wire
+// (indented + trailing newline), as cacheable bytes.
+func jsonBody(v any) ([]byte, string, error) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, "", err
+	}
+	return append(b, '\n'), "application/json", nil
+}
+
+// Default query parameters, shared with the append-time prebake so the
+// first post-append request for the common shapes is already cached.
+const (
+	defaultTopK     = 10
+	defaultMinShift = 0.01
+)
+
+// topResponse is the /v1/top body.
+type topResponse struct {
+	Epoch int      `json:"epoch"`
+	Top   []ASRank `json:"top"`
+}
+
+// Cache keys are normalized query shapes, so "?k=10", "?k=10&epoch=2" on
+// epoch 2, and the bare default all collapse to one entry per epoch.
+func topKey(k int) string { return "top?k=" + strconv.Itoa(k) }
+
+func diffKey(a, b int, minShift float64) string {
+	return "diff?a=" + strconv.Itoa(a) + "&b=" + strconv.Itoa(b) +
+		"&min_shift=" + strconv.FormatFloat(minShift, 'g', -1, 64)
+}
+
+// epochAt resolves an epoch ID inside one snapshot.
+func epochAt(es []*Epoch, id int) (*Epoch, bool) {
+	if id < 0 || id >= len(es) {
+		return nil, false
+	}
+	return es[id], true
+}
+
+// epochIn resolves the optional ?epoch= selector (default: latest) against
+// the request's snapshot.
+func epochIn(v *epochList, r *http.Request) (*Epoch, error) {
 	q := r.URL.Query().Get("epoch")
 	if q == "" {
-		e := h.s.Latest()
-		if e == nil {
+		if len(v.epochs) == 0 {
 			return nil, fmt.Errorf("store has no epochs")
 		}
-		return e, nil
+		return v.epochs[len(v.epochs)-1], nil
 	}
 	id, err := strconv.Atoi(q)
 	if err != nil {
 		return nil, fmt.Errorf("bad epoch %q", q)
 	}
-	e, ok := h.s.Epoch(id)
+	e, ok := epochAt(v.epochs, id)
 	if !ok {
 		return nil, fmt.Errorf("no epoch %d", id)
 	}
@@ -110,9 +158,12 @@ func (h *handler) healthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (h *handler) epochs(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, struct {
-		Epochs []Info `json:"epochs"`
-	}{Epochs: h.s.Infos()})
+	v := h.view()
+	serveCached(w, r, "/v1/epochs", v.cache, "epochs", v.etag, func() ([]byte, string, error) {
+		return jsonBody(struct {
+			Epochs []Info `json:"epochs"`
+		}{Epochs: infosIn(v.epochs)})
+	})
 }
 
 func (h *handler) mapDoc(w http.ResponseWriter, r *http.Request) {
@@ -121,38 +172,39 @@ func (h *handler) mapDoc(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "bad epoch %q", r.PathValue("epoch"))
 		return
 	}
-	e, ok := h.s.Epoch(id)
+	v := h.view()
+	e, ok := epochAt(v.epochs, id)
 	if !ok {
 		writeErr(w, http.StatusNotFound, "no epoch %d", id)
 		return
 	}
 	switch f := r.URL.Query().Get("format"); f {
 	case "", "json":
-		writeJSON(w, http.StatusOK, e.Doc)
+		serveCached(w, r, "/v1/map/{epoch}", e.cache, "map.json", e.ETag, func() ([]byte, string, error) {
+			return jsonBody(e.Doc)
+		})
 	case "binary":
-		w.Header().Set("Content-Type", "application/octet-stream")
-		w.WriteHeader(http.StatusOK)
-		_, _ = w.Write(e.Encoded)
+		serveBinary(w, r, "/v1/map/{epoch}", e)
 	default:
 		writeErr(w, http.StatusBadRequest, "unknown format %q", f)
 	}
 }
 
 func (h *handler) top(w http.ResponseWriter, r *http.Request) {
-	e, err := h.epochParam(r)
+	v := h.view()
+	e, err := epochIn(v, r)
 	if err != nil {
 		writeErr(w, http.StatusNotFound, "%v", err)
 		return
 	}
-	k, err := intParam(r, "k", 10)
+	k, err := intParam(r, "k", defaultTopK)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, struct {
-		Epoch int      `json:"epoch"`
-		Top   []ASRank `json:"top"`
-	}{Epoch: e.ID, Top: e.TopASes(k)})
+	serveCached(w, r, "/v1/top", e.cache, topKey(k), e.ETag, func() ([]byte, string, error) {
+		return jsonBody(topResponse{Epoch: e.ID, Top: e.TopASes(k)})
+	})
 }
 
 func (h *handler) asView(w http.ResponseWriter, r *http.Request) {
@@ -161,25 +213,33 @@ func (h *handler) asView(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	e, err := h.epochParam(r)
+	v := h.view()
+	e, err := epochIn(v, r)
 	if err != nil {
 		writeErr(w, http.StatusNotFound, "%v", err)
 		return
 	}
-	k, err := intParam(r, "k", 10)
+	k, err := intParam(r, "k", defaultTopK)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	v, ok := e.ASView(asn, k)
-	if !ok {
-		writeErr(w, http.StatusNotFound, "AS %d not in epoch %d", asn, e.ID)
-		return
-	}
-	writeJSON(w, http.StatusOK, struct {
-		ASView
-		Series []EpochValue `json:"series"`
-	}{ASView: v, Series: h.s.ASActivitySeries(asn)})
+	// The response spans the whole store (the longitudinal series), so it
+	// caches on the snapshot, keyed by the fully-resolved query shape, and
+	// carries the store ETag — one append invalidates it wholesale.
+	key := "as?asn=" + strconv.FormatUint(uint64(asn), 10) +
+		"&epoch=" + strconv.Itoa(e.ID) + "&k=" + strconv.Itoa(k)
+	serveCached(w, r, "/v1/as/{asn}", v.cache, key, v.etag, func() ([]byte, string, error) {
+		av, ok := e.ASView(asn, k)
+		if !ok {
+			return nil, "", &statusErr{http.StatusNotFound,
+				fmt.Sprintf("AS %d not in epoch %d", asn, e.ID)}
+		}
+		return jsonBody(struct {
+			ASView
+			Series []EpochValue `json:"series"`
+		}{ASView: av, Series: seriesIn(v.epochs, asn)})
+	})
 }
 
 func (h *handler) diff(w http.ResponseWriter, r *http.Request) {
@@ -189,7 +249,7 @@ func (h *handler) diff(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "bad epoch pair %q/%q", r.PathValue("a"), r.PathValue("b"))
 		return
 	}
-	minShift := 0.01
+	minShift := defaultMinShift
 	if q := r.URL.Query().Get("min_shift"); q != "" {
 		v, err := strconv.ParseFloat(q, 64)
 		if err != nil {
@@ -198,12 +258,27 @@ func (h *handler) diff(w http.ResponseWriter, r *http.Request) {
 		}
 		minShift = v
 	}
-	d, err := h.s.Diff(a, b, minShift)
-	if err != nil {
-		writeErr(w, http.StatusNotFound, "%v", err)
+	v := h.view()
+	ea, okA := epochAt(v.epochs, a)
+	if !okA {
+		writeErr(w, http.StatusNotFound, "mapstore: no epoch %d", a)
 		return
 	}
-	writeJSON(w, http.StatusOK, d)
+	eb, okB := epochAt(v.epochs, b)
+	if !okB {
+		writeErr(w, http.StatusNotFound, "mapstore: no epoch %d", b)
+		return
+	}
+	// A diff is pair-scoped and immutable; it caches on the newer epoch so
+	// the entry ages out with the epochs themselves, never with appends.
+	newer := ea
+	if eb.ID > newer.ID {
+		newer = eb
+	}
+	serveCached(w, r, "/v1/diff/{a}/{b}", newer.cache, diffKey(a, b, minShift), pairETag(ea, eb),
+		func() ([]byte, string, error) {
+			return jsonBody(diffEpochs(ea, eb, minShift))
+		})
 }
 
 func (h *handler) link(w http.ResponseWriter, r *http.Request) {
@@ -213,20 +288,24 @@ func (h *handler) link(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "bad AS pair %q/%q", r.PathValue("a"), r.PathValue("b"))
 		return
 	}
-	e, err := h.epochParam(r)
+	v := h.view()
+	e, err := epochIn(v, r)
 	if err != nil {
 		writeErr(w, http.StatusNotFound, "%v", err)
 		return
 	}
-	load, ok := e.LinkLoad(a, b)
-	if !ok {
-		writeErr(w, http.StatusNotFound, "no link load for %d-%d in epoch %d", a, b, e.ID)
-		return
-	}
-	writeJSON(w, http.StatusOK, struct {
-		Epoch      int     `json:"epoch"`
-		A          uint32  `json:"a"`
-		B          uint32  `json:"b"`
-		DailyBytes float64 `json:"daily_bytes"`
-	}{Epoch: e.ID, A: a, B: b, DailyBytes: load})
+	key := "link?a=" + strconv.FormatUint(uint64(a), 10) + "&b=" + strconv.FormatUint(uint64(b), 10)
+	serveCached(w, r, "/v1/link/{a}/{b}", e.cache, key, e.ETag, func() ([]byte, string, error) {
+		load, ok := e.LinkLoad(a, b)
+		if !ok {
+			return nil, "", &statusErr{http.StatusNotFound,
+				fmt.Sprintf("no link load for %d-%d in epoch %d", a, b, e.ID)}
+		}
+		return jsonBody(struct {
+			Epoch      int     `json:"epoch"`
+			A          uint32  `json:"a"`
+			B          uint32  `json:"b"`
+			DailyBytes float64 `json:"daily_bytes"`
+		}{Epoch: e.ID, A: a, B: b, DailyBytes: load})
+	})
 }

@@ -3,6 +3,7 @@ package mapstore
 import (
 	"fmt"
 	"maps"
+	"math/bits"
 	"slices"
 	"sync"
 	"sync/atomic"
@@ -26,8 +27,13 @@ type Epoch struct {
 	// epoch's are shared structurally (same backing arrays), so a stable
 	// infrastructure costs nothing per epoch.
 	Doc *core.MapDocument
-	// Encoded is the document in the ITMB binary format.
+	// Encoded is the document in the ITMB binary format. The binary API
+	// route serves this slice directly — zero copies, zero re-encodes.
 	Encoded []byte
+	// ETag is the strong entity tag for responses scoped to this epoch,
+	// derived from the canonical encoding (so it is byte-identical across
+	// runs and worker counts).
+	ETag string
 	// SharedSections counts how many of the document's sections were
 	// reused from the previous epoch at ingest.
 	SharedSections int
@@ -49,6 +55,10 @@ type Epoch struct {
 	confidence map[uint32]float64 // ASN → confidence (only if doc carries it)
 	sources    map[uint32]string  // ASN → source label
 	users      core.UsersComponent
+
+	// cache holds encoded response bodies scoped to this epoch. Epochs are
+	// immutable, so entries never invalidate; appends leave them untouched.
+	cache *responseCache
 }
 
 // ASRank is one AS's position in an epoch's activity ranking.
@@ -63,11 +73,33 @@ type ASRank struct {
 // mappings).
 const sectionCount = 8
 
+// Section bits name the shareable sections, so ingest can reuse exactly the
+// derived indexes whose inputs an append left untouched.
+const (
+	secActives = 1 << iota
+	secHitRates
+	secActivity
+	secSources
+	secCoverage
+	secConfidence
+	secServers
+	secMappings
+
+	secAll = 1<<sectionCount - 1
+	// secUsers covers every section core.ImportUsers reads.
+	secUsers = secActives | secHitRates | secActivity | secSources | secCoverage | secConfidence
+)
+
 // epochList is the store's immutable snapshot: a prefix-stable slice of
 // epochs. Append publishes a fresh list; readers keep using the one they
-// loaded.
+// loaded. The list also carries the store-scoped response cache and its
+// generation ETag: responses that span epochs (activity series, the epoch
+// listing) cache here, and because Append publishes a fresh list, those
+// entries invalidate by construction — no locks, no invalidation scan.
 type epochList struct {
 	epochs []*Epoch
+	etag   string
+	cache  *responseCache
 }
 
 // Store is the in-memory, epoch-versioned map store. Ingestion is
@@ -81,8 +113,9 @@ type Store struct {
 
 // NewStore returns an empty store.
 func NewStore() *Store {
+	declareCacheMetrics()
 	s := &Store{}
-	s.cur.Store(&epochList{})
+	s.cur.Store(&epochList{etag: storeETag(0, ""), cache: newResponseCache()})
 	return s
 }
 
@@ -135,47 +168,92 @@ func (s *Store) append(at simtime.Time, doc *core.MapDocument, mx *traffic.Matri
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	old := s.cur.Load()
-	e := &Epoch{ID: len(old.epochs), At: at, Doc: doc, mx: mx, top: top}
+	e := &Epoch{ID: len(old.epochs), At: at, Doc: doc, mx: mx, top: top, cache: newResponseCache()}
+	var prev *Epoch
+	var shared uint
 	if len(old.epochs) > 0 {
 		// Epoch times must advance strictly: a sweep re-ingested at the
 		// same simulated time is a caller bug, not a new epoch.
-		prev := old.epochs[len(old.epochs)-1]
+		prev = old.epochs[len(old.epochs)-1]
 		if !prev.At.Before(at) {
 			return nil, fmt.Errorf("mapstore: epoch time %v does not advance past %v", at, prev.At)
 		}
-		e.SharedSections = shareSections(doc, prev.Doc)
+		shared = shareSections(doc, prev.Doc)
+		e.SharedSections = bits.OnesCount(shared)
 	}
-	enc, err := EncodeDocument(doc)
-	if err != nil {
-		return nil, err
+	if shared == secAll {
+		// Identical re-ingest: the canonical encoding is a pure function of
+		// the document, so the previous epoch's bytes serve verbatim.
+		e.Encoded = prev.Encoded
+	} else {
+		enc, err := EncodeDocument(doc)
+		if err != nil {
+			return nil, err
+		}
+		e.Encoded = enc
 	}
-	e.Encoded = enc
-	users, err := core.ImportUsers(doc)
-	if err != nil {
-		return nil, err
+	e.ETag = epochETag(e.ID, e.Encoded)
+	if shared&secUsers == secUsers {
+		e.users = prev.users
+	} else {
+		users, err := core.ImportUsers(doc)
+		if err != nil {
+			return nil, err
+		}
+		e.users = users
 	}
-	e.users = users
-	if err := e.buildIndexes(); err != nil {
+	if err := e.buildIndexes(prev, shared); err != nil {
 		return nil, err
 	}
 
 	// Copy-on-write publish: readers holding the old list are untouched.
-	next := &epochList{epochs: make([]*Epoch, len(old.epochs)+1)}
+	// The fresh list carries a fresh store-scoped cache and a bumped ETag,
+	// which is the whole invalidation story for cross-epoch responses.
+	next := &epochList{
+		epochs: make([]*Epoch, len(old.epochs)+1),
+		etag:   storeETag(len(old.epochs)+1, e.ETag),
+		cache:  newResponseCache(),
+	}
 	copy(next.epochs, old.epochs)
 	next.epochs[len(old.epochs)] = e
 	s.cur.Store(next)
 
+	e.prebake(prev)
+
 	sp := obs.StartSpan("mapstore.append", at).SetAttrInt("epoch", int64(e.ID))
 	sp.SetAttrInt("shared_sections", int64(e.SharedSections)).
-		SetAttrInt("encoded_bytes", int64(len(enc))).
+		SetAttrInt("encoded_bytes", int64(len(e.Encoded))).
 		End(at)
 	obs.C("itm_mapstore_epochs_total", "Epochs ingested into the map store.").Inc()
 	obs.C("itm_mapstore_sections_shared_total", "Document sections structurally shared with the previous epoch.").Add(uint64(e.SharedSections))
 	if e.ID > 0 {
 		obs.C("itm_mapstore_sections_copied_total", "Document sections that changed and so kept their own storage.").Add(uint64(sectionCount - e.SharedSections))
 	}
-	obs.H("itm_mapstore_epoch_bytes", "Encoded (ITMB) size of ingested epochs, in bytes.", epochBytesBuckets).Observe(float64(len(enc)))
+	obs.H("itm_mapstore_epoch_bytes", "Encoded (ITMB) size of ingested epochs, in bytes.", epochBytesBuckets).Observe(float64(len(e.Encoded)))
 	return e, nil
+}
+
+// prebake fills the responses an interactive consumer asks for first —
+// the default top-K ranking and the diff against the previous epoch — so
+// the very first request after an append already hits cached bytes.
+func (e *Epoch) prebake(prev *Epoch) {
+	bake := func(c *responseCache, key, route string, render func() ([]byte, string, error)) {
+		entry, created, ok := c.lookup(key)
+		if !ok || !created {
+			return
+		}
+		entry.fill(route, render)
+		obs.C("itm_cache_prebaked_total", "Responses pre-baked into epoch caches at append time.").Inc()
+	}
+	bake(e.cache, topKey(defaultTopK), "/v1/top", func() ([]byte, string, error) {
+		return jsonBody(topResponse{Epoch: e.ID, Top: e.TopASes(defaultTopK)})
+	})
+	if prev != nil {
+		bake(e.cache, diffKey(prev.ID, e.ID, defaultMinShift), "/v1/diff/{a}/{b}",
+			func() ([]byte, string, error) {
+				return jsonBody(diffEpochs(prev, e, defaultMinShift))
+			})
+	}
 }
 
 // epochBytesBuckets spans tiny test worlds through full-scale documents.
@@ -183,40 +261,41 @@ var epochBytesBuckets = []float64{1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 1
 
 // shareSections replaces sections of doc that are equal to prev's with
 // prev's backing arrays/maps, so consecutive epochs of a stable map share
-// storage. Returns how many sections were shared.
-func shareSections(doc, prev *core.MapDocument) int {
-	shared := 0
+// storage. Returns the bitmask of shared sections; ingest uses it to reuse
+// the derived indexes whose inputs did not change.
+func shareSections(doc, prev *core.MapDocument) uint {
+	var shared uint
 	if slices.Equal(doc.ActivePrefixes, prev.ActivePrefixes) {
 		doc.ActivePrefixes = prev.ActivePrefixes
-		shared++
+		shared |= secActives
 	}
 	if maps.Equal(doc.PrefixHitRates, prev.PrefixHitRates) {
 		doc.PrefixHitRates = prev.PrefixHitRates
-		shared++
+		shared |= secHitRates
 	}
 	if maps.Equal(doc.ASActivity, prev.ASActivity) {
 		doc.ASActivity = prev.ASActivity
-		shared++
+		shared |= secActivity
 	}
 	if maps.Equal(doc.Sources, prev.Sources) {
 		doc.Sources = prev.Sources
-		shared++
+		shared |= secSources
 	}
 	if maps.Equal(doc.Coverage, prev.Coverage) {
 		doc.Coverage = prev.Coverage
-		shared++
+		shared |= secCoverage
 	}
 	if maps.Equal(doc.ASConfidence, prev.ASConfidence) {
 		doc.ASConfidence = prev.ASConfidence
-		shared++
+		shared |= secConfidence
 	}
 	if slices.Equal(doc.Servers, prev.Servers) {
 		doc.Servers = prev.Servers
-		shared++
+		shared |= secServers
 	}
 	if slices.Equal(doc.Mappings, prev.Mappings) {
 		doc.Mappings = prev.Mappings
-		shared++
+		shared |= secMappings
 	}
 	return shared
 }
