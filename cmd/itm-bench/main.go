@@ -17,6 +17,13 @@
 // ("Loadgen/obs", the itm_cache_* counters). Wall-clock QPS/latency never
 // enter the file.
 //
+// With -overload it drives the phased admission-control scenario
+// (mapstore.OverloadScenario) against a fresh obs set and records the
+// shed/admit ledger plus the itm_admission_* families ("Overload/obs").
+// The phased orchestration makes the counts exact — admitted ==
+// capacity + queue, shed == extra — independent of scheduling, so they
+// diff cleanly.
+//
 // Usage:
 //
 //	go test -bench ... -benchmem -benchtime 8x ./... | itm-bench -o BENCH_serve.json
@@ -148,12 +155,38 @@ func loadgenCounters(seed int64) (client, server map[string]float64, err error) 
 	return res.Counters.Flat(), server, nil
 }
 
+// overloadCounters runs the deterministic overload scenario against a
+// fresh obs set: a gated handler holds `capacity` slots and a full queue
+// while `extra` arrivals shed, so every number below is exact.
+func overloadCounters() map[string]float64 {
+	prev := obs.Swap(obs.NewSet())
+	defer obs.Swap(prev)
+	res := mapstore.OverloadScenario(4, 8, 16)
+	vals := map[string]float64{
+		"issued":   float64(res.Issued),
+		"admitted": float64(res.Admitted),
+		"shed":     float64(res.Shed),
+	}
+	obs.Metrics().Visit(func(name string, labels []obs.Label, value float64) {
+		if !strings.HasPrefix(name, "itm_admission_") {
+			return
+		}
+		key := name
+		for _, l := range labels {
+			key += "{" + l.Key + "=" + l.Value + "}"
+		}
+		vals[key] = value
+	})
+	return vals
+}
+
 func main() {
 	outPath := flag.String("o", "BENCH_serve.json", "output file")
 	campaign := flag.Bool("campaign", false, "also run a tiny seeded campaign and record its stable obs counters")
 	campaignSeed := flag.Int64("campaign-seed", 42, "seed for the -campaign run")
 	loadgenRun := flag.Bool("loadgen", false, "also replay a seeded itm-loadgen mix and record its deterministic counters")
 	loadgenSeed := flag.Int64("loadgen-seed", 7, "seed for the -loadgen replay (world and plan)")
+	overloadRun := flag.Bool("overload", false, "also run the deterministic admission-control overload scenario")
 	flag.Parse()
 
 	results, err := parse(bufio.NewScanner(os.Stdin))
@@ -177,6 +210,9 @@ func main() {
 		}
 		results["Loadgen/counters"] = client
 		results["Loadgen/obs"] = server
+	}
+	if *overloadRun {
+		results["Overload/obs"] = overloadCounters()
 	}
 	if len(results) == 0 {
 		fmt.Fprintln(os.Stderr, "itm-bench: no benchmark lines on stdin")

@@ -11,14 +11,21 @@
 //	                                               and replay against the
 //	                                               same handler stack
 //
+// With -overload the paced replay is replaced by an unpaced burst against
+// an admission-controlled server: 503s are counted instead of fatal, and
+// the run fails unless admitted + shed == issued and every shed response
+// carries Retry-After.
+//
 // Usage:
 //
 //	itm-loadgen [-addr URL | -self] [-seed N] [-n N] [-workers N]
 //	            [-alpha F] [-as-pool N] [-reval F] [-counters out.json]
 //	            [-scale tiny|small|default] [-world-seed N] [-epochs N]
+//	            [-overload]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net/http"
@@ -43,9 +50,10 @@ func main() {
 	scale := flag.String("scale", "tiny", "-self world scale: tiny, small, or default")
 	worldSeed := flag.Int64("world-seed", 42, "-self world seed")
 	epochs := flag.Int("epochs", 3, "-self simulated days (one epoch per day)")
+	overload := flag.Bool("overload", false, "unpaced burst mode: count 503 sheds and assert the overload contract")
 	flag.Parse()
 
-	if err := run(*addr, *self, *scale, *worldSeed, *epochs, loadgen.Config{
+	if err := run(*addr, *self, *overload, *scale, *worldSeed, *epochs, loadgen.Config{
 		Base:       *addr,
 		Seed:       *seed,
 		Requests:   *n,
@@ -59,7 +67,7 @@ func main() {
 	}
 }
 
-func run(addr string, self bool, scale string, worldSeed int64, epochs int, cfg loadgen.Config, countersOut string) error {
+func run(addr string, self, overload bool, scale string, worldSeed int64, epochs int, cfg loadgen.Config, countersOut string) error {
 	var doer loadgen.Doer
 	switch {
 	case self && addr != "":
@@ -86,6 +94,31 @@ func run(addr string, self bool, scale string, worldSeed int64, epochs int, cfg 
 		doer = &http.Client{}
 	default:
 		return fmt.Errorf("need -addr or -self")
+	}
+
+	if overload {
+		c, err := loadgen.RunOverload(loadgen.OverloadConfig{
+			Base:     cfg.Base,
+			Seed:     cfg.Seed,
+			Requests: cfg.Requests,
+			Workers:  cfg.Workers,
+		}, doer)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("itm-loadgen: overload n=%d workers=%d seed=%d admitted=%d shed=%d (admitted+shed==issued, all 503s carried Retry-After)\n",
+			c.Issued, cfg.Workers, cfg.Seed, c.Admitted, c.Shed)
+		if countersOut != "" {
+			blob, err := json.MarshalIndent(c, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(countersOut, append(blob, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "itm-loadgen: wrote overload ledger to %s\n", countersOut)
+		}
+		return nil
 	}
 
 	res, err := loadgen.Run(cfg, doer)

@@ -14,10 +14,19 @@
 //	GET /v1/traces                recorded trace names
 //	GET /v1/trace/{campaign}      one campaign's span tree
 //
+// With -wal DIR every ingested epoch is journaled (fsync-on-append) before
+// it is served, and a restart replays the journal instead of rebuilding the
+// world — including after a SIGKILL mid-append, whose torn record is
+// truncated on recovery. All non-operator routes pass through an admission
+// valve (bounded concurrency + bounded wait queue) that sheds with 503 +
+// Retry-After when saturated; SIGTERM drains in-flight requests before the
+// WAL is closed.
+//
 // Usage:
 //
 //	itm-serve [-addr :8411] [-scale tiny|small|default] [-seed N]
 //	          [-epochs N] [-workers N] [-snapshot map.json] [-pprof]
+//	          [-wal DIR] [-compact-every N] [-max-inflight N] [-max-queue N]
 package main
 
 import (
@@ -35,58 +44,111 @@ import (
 	"itmap/internal/experiments"
 	"itmap/internal/faults"
 	"itmap/internal/mapstore"
+	"itmap/internal/mapstore/wal"
 	"itmap/internal/obs"
 	"itmap/internal/world"
 )
 
+// options carries every flag; one struct keeps run()'s signature sane.
+type options struct {
+	addr         string
+	scale        string
+	seed         int64
+	epochs       int
+	workers      int
+	snapshot     string
+	pprofOn      bool
+	walDir       string
+	compactEvery int
+	maxInflight  int
+	maxQueue     int
+}
+
 func main() {
-	addr := flag.String("addr", ":8411", "listen address")
-	scale := flag.String("scale", "tiny", "world scale: tiny, small, or default")
-	seed := flag.Int64("seed", 42, "world seed")
-	epochs := flag.Int("epochs", 3, "simulated days to measure (one epoch per day)")
-	workers := flag.Int("workers", 0, "matrix build workers (0 = one per CPU)")
-	snapshot := flag.String("snapshot", "", "serve this exported map JSON instead of simulating")
-	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+	var o options
+	flag.StringVar(&o.addr, "addr", ":8411", "listen address")
+	flag.StringVar(&o.scale, "scale", "tiny", "world scale: tiny, small, or default")
+	flag.Int64Var(&o.seed, "seed", 42, "world seed")
+	flag.IntVar(&o.epochs, "epochs", 3, "simulated days to measure (one epoch per day)")
+	flag.IntVar(&o.workers, "workers", 0, "matrix build workers (0 = one per CPU)")
+	flag.StringVar(&o.snapshot, "snapshot", "", "serve this exported map JSON instead of simulating")
+	flag.BoolVar(&o.pprofOn, "pprof", false, "expose net/http/pprof under /debug/pprof/")
+	flag.StringVar(&o.walDir, "wal", "", "journal epochs under this directory; replay it on boot instead of rebuilding")
+	flag.IntVar(&o.compactEvery, "compact-every", 0, "fold the WAL journal into a snapshot every N epochs (0 = default, <0 = never)")
+	flag.IntVar(&o.maxInflight, "max-inflight", 0, "admission: concurrent request slots (0 = default)")
+	flag.IntVar(&o.maxQueue, "max-queue", -1, "admission: wait-queue capacity (-1 = default, 0 = shed immediately when slots are full)")
 	flag.Parse()
 
 	obs.Events().SetOutput(os.Stderr)
-	if err := run(*addr, *scale, *seed, *epochs, *workers, *snapshot, *pprofOn); err != nil {
+	if err := run(o); err != nil {
 		obs.Event(obs.Error, "serve.exit", "reason", err.Error())
 		os.Exit(1)
 	}
 }
 
-func buildStore(scale string, seed int64, epochs, workers int, snapshot string) (*mapstore.Store, error) {
-	if snapshot != "" {
-		f, err := os.Open(snapshot)
+// fillStore populates an empty store — from a snapshot export or by running
+// the measurement campaign. The store may already have a WAL attached, in
+// which case every append lands in the journal before it is served.
+func fillStore(st *mapstore.Store, o options) error {
+	if o.snapshot != "" {
+		f, err := os.Open(o.snapshot)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		defer f.Close()
 		doc, err := core.ImportDocument(f)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", snapshot, err)
+			return fmt.Errorf("%s: %w", o.snapshot, err)
 		}
-		st := mapstore.NewStore()
 		if _, err := st.Append(0, doc); err != nil {
-			return nil, fmt.Errorf("%s: %w", snapshot, err)
+			return fmt.Errorf("%s: %w", o.snapshot, err)
 		}
-		return st, nil
+		return nil
 	}
 
 	var cfg world.Config
-	switch scale {
+	switch o.scale {
 	case "tiny":
-		cfg = world.Tiny(seed)
+		cfg = world.Tiny(o.seed)
 	case "small":
-		cfg = world.Small(seed)
+		cfg = world.Small(o.seed)
 	case "default":
-		cfg = world.Default(seed)
+		cfg = world.Default(o.seed)
 	default:
-		return nil, fmt.Errorf("unknown scale %q", scale)
+		return fmt.Errorf("unknown scale %q", o.scale)
 	}
-	obs.Event(obs.Info, "serve.building", "scale", scale, "seed", seed, "epochs", epochs)
-	return experiments.BuildEpochStore(world.Build(cfg), epochs, workers)
+	obs.Event(obs.Info, "serve.building", "scale", o.scale, "seed", o.seed, "epochs", o.epochs)
+	return experiments.BuildEpochStoreInto(st, world.Build(cfg), o.epochs, o.workers)
+}
+
+// openStore assembles the serving store. With -wal and a non-empty journal
+// the world rebuild is skipped entirely: the store is replayed from disk,
+// torn tail repaired, and the WAL stays attached for future appends.
+func openStore(o options) (*mapstore.Store, *wal.WAL, error) {
+	if o.walDir == "" {
+		st := mapstore.NewStore()
+		return st, nil, fillStore(st, o)
+	}
+	w, rec, err := wal.Open(wal.Options{Dir: o.walDir, CompactEvery: o.compactEvery})
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(rec.Records) > 0 {
+		st, err := mapstore.RecoverStore(w, rec)
+		if err != nil {
+			return nil, nil, err
+		}
+		obs.Event(obs.Info, "serve.recovered", "wal", o.walDir,
+			"epochs", len(rec.Records), "snapshot_epochs", rec.SnapshotRecords,
+			"journal_epochs", rec.JournalRecords, "truncated_tail_bytes", rec.TruncatedBytes)
+		return st, w, nil
+	}
+	st := mapstore.NewStore()
+	st.AttachWAL(w)
+	if err := fillStore(st, o); err != nil {
+		return nil, nil, err
+	}
+	return st, w, nil
 }
 
 // newMux layers the operational endpoints over the store's query API.
@@ -134,9 +196,9 @@ func newMux(st *mapstore.Store, pprofOn bool) *http.ServeMux {
 	return mux
 }
 
-func run(addr, scale string, seed int64, epochs, workers int, snapshot string, pprofOn bool) error {
+func run(o options) error {
 	faults.RegisterMetrics()
-	st, err := buildStore(scale, seed, epochs, workers, snapshot)
+	st, w, err := openStore(o)
 	if err != nil {
 		return err
 	}
@@ -150,15 +212,19 @@ func run(addr, scale string, seed int64, epochs, workers int, snapshot string, p
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	ln, err := net.Listen("tcp", addr)
+	ln, err := net.Listen("tcp", o.addr)
 	if err != nil {
 		return err
 	}
-	srv := &http.Server{Handler: newMux(st, pprofOn)}
+	adm := mapstore.NewAdmission(mapstore.AdmissionConfig{
+		MaxInFlight: o.maxInflight,
+		MaxQueue:    o.maxQueue,
+	})
+	srv := &http.Server{Handler: adm.Wrap(newMux(st, o.pprofOn))}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 	obs.Event(obs.Info, "serve.listening", "addr", ln.Addr().String(),
-		"epochs", st.Len(), "pprof", pprofOn)
+		"epochs", st.Len(), "wal", o.walDir != "", "pprof", o.pprofOn)
 
 	reason := "signal"
 	select {
@@ -169,7 +235,18 @@ func run(addr, scale string, seed int64, epochs, workers int, snapshot string, p
 	}
 	stop()
 	obs.Event(obs.Info, "serve.shutdown", "reason", reason)
-	// Graceful drain: in-flight requests finish; new connections are
-	// refused. No deadline — a second signal kills the process anyway.
-	return srv.Shutdown(context.Background())
+	// Graceful drain, in order: stop admitting (queued waiters shed, new
+	// arrivals 503), let in-flight requests finish, then close the journal —
+	// which therefore always ends on a record boundary.
+	adm.BeginDrain()
+	if err := srv.Shutdown(context.Background()); err != nil {
+		return err
+	}
+	if w != nil {
+		if err := w.Close(); err != nil {
+			return fmt.Errorf("closing wal: %w", err)
+		}
+		obs.Event(obs.Info, "serve.wal_closed", "dir", o.walDir)
+	}
+	return nil
 }

@@ -52,17 +52,27 @@ func EpochEnvs(w *world.World, days, workers int) []*Env {
 // matrix build's parallelism; the resulting store (epoch bytes, diffs,
 // rankings) is identical for every setting.
 func BuildEpochStore(w *world.World, days, workers int) (*mapstore.Store, error) {
+	st := mapstore.NewStore()
+	if err := BuildEpochStoreInto(st, w, days, workers); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// BuildEpochStoreInto runs the campaign into a caller-provided store, so
+// the caller can configure it first — itm-serve attaches the write-ahead
+// log before the first append, making the initial build durable too.
+func BuildEpochStoreInto(st *mapstore.Store, w *world.World, days, workers int) error {
 	envs := EpochEnvs(w, days, workers)
 	// One trace per campaign day; Activate happens at serial points, so every
 	// span a day's sweeps record lands in that day's tree.
 	obspkg.ActivateTrace("epoch-0")
 	mx := envs[0].Matrix()
-	st := mapstore.NewStore()
 	for d, e := range envs {
 		obspkg.ActivateTrace("epoch-" + strconv.Itoa(d))
 		if _, err := st.AppendMap(simtime.Time(d)*simtime.Day, e.Map(), mx); err != nil {
-			return nil, err
+			return err
 		}
 	}
-	return st, nil
+	return nil
 }

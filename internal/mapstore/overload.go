@@ -1,0 +1,94 @@
+package mapstore
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+)
+
+// OverloadResult is what one deterministic overload scenario produced.
+// Conservation always holds: Issued == Admitted + Shed.
+type OverloadResult struct {
+	Capacity int `json:"capacity"`
+	Queue    int `json:"queue"`
+	Issued   int `json:"issued"`
+	Admitted int `json:"admitted"`
+	Shed     int `json:"shed"`
+	// RetryAfterOK is true when every shed response carried a Retry-After
+	// header (it must).
+	RetryAfterOK bool `json:"retry_after_ok"`
+}
+
+// OverloadScenario drives an Admission valve to saturation with exactly
+// reproducible counts, independent of scheduling and worker count. The
+// trick is a gated handler plus phased arrival: first `capacity` requests
+// occupy every execution slot (all parked on the gate), then `queue` more
+// fill the wait queue, and only then `extra` requests arrive — each of
+// which must shed, because nothing can leave the gate while they do.
+// Opening the gate lets every admitted request finish with 200. So:
+//
+//	admitted = capacity + queue,  shed = extra  — always.
+//
+// itm-bench folds these counters into BENCH_serve.json, and the loadgen
+// overload smoke asserts the same conservation law over real HTTP where
+// the exact split is timing-dependent but the sum is not.
+func OverloadScenario(capacity, queue, extra int) OverloadResult {
+	adm := NewAdmission(AdmissionConfig{MaxInFlight: capacity, MaxQueue: queue})
+	gate := make(chan struct{})
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-gate
+		w.WriteHeader(http.StatusOK)
+	})
+	h := adm.Wrap(inner)
+
+	res := OverloadResult{Capacity: capacity, Queue: queue, RetryAfterOK: true}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	issue := func() {
+		defer wg.Done()
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/top", nil))
+		mu.Lock()
+		defer mu.Unlock()
+		switch rec.Code {
+		case http.StatusOK:
+			res.Admitted++
+		case http.StatusServiceUnavailable:
+			res.Shed++
+			if rec.Header().Get("Retry-After") == "" {
+				res.RetryAfterOK = false
+			}
+		}
+	}
+
+	// Phase 1: occupy every slot. The spin on InFlight is pure scheduling —
+	// no clocks — and terminates because each launched request either holds
+	// a slot already or is runnable until it does.
+	for i := 0; i < capacity; i++ {
+		wg.Add(1)
+		go issue()
+	}
+	for adm.InFlight() < capacity {
+		runtime.Gosched()
+	}
+	// Phase 2: fill the wait queue behind the parked slots.
+	for i := 0; i < queue; i++ {
+		wg.Add(1)
+		go issue()
+	}
+	for adm.QueueDepth() < queue {
+		runtime.Gosched()
+	}
+	// Phase 3: every further arrival finds slots and queue full and sheds.
+	// Serial issue keeps even the arrival order deterministic.
+	for i := 0; i < extra; i++ {
+		wg.Add(1)
+		issue()
+	}
+	// Phase 4: open the gate; all admitted work completes with 200.
+	close(gate)
+	wg.Wait()
+	res.Issued = capacity + queue + extra
+	return res
+}

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"itmap/internal/core"
+	"itmap/internal/mapstore/wal"
 	"itmap/internal/obs"
 	"itmap/internal/simtime"
 	"itmap/internal/topology"
@@ -109,6 +110,10 @@ type epochList struct {
 type Store struct {
 	mu  sync.Mutex // serializes Append
 	cur atomic.Pointer[epochList]
+
+	// wal, when attached, journals every epoch's canonical encoding before
+	// it is published (see walstore.go). Guarded by mu.
+	wal *wal.WAL
 }
 
 // NewStore returns an empty store.
@@ -204,6 +209,15 @@ func (s *Store) append(at simtime.Time, doc *core.MapDocument, mx *traffic.Matri
 	}
 	if err := e.buildIndexes(prev, shared); err != nil {
 		return nil, err
+	}
+
+	// Write-ahead point: everything that can fail has succeeded, nothing is
+	// visible yet. Journal + fsync the canonical bytes; if that fails the
+	// epoch is not published, so the WAL never lags the served store.
+	if s.wal != nil {
+		if err := s.wal.Append(at, e.Encoded); err != nil {
+			return nil, fmt.Errorf("mapstore: journal epoch %d: %w", e.ID, err)
+		}
 	}
 
 	// Copy-on-write publish: readers holding the old list are untouched.

@@ -1,0 +1,495 @@
+// Package wal is the map store's durability layer: an append-only journal
+// of ITMB-encoded epochs with CRC-checksummed, length-prefixed records,
+// fsync-on-append, torn-tail repair, and atomic snapshot compaction.
+//
+// On-disk layout (two files under one directory, same record stream format):
+//
+//	snapshot.itwl   compacted prefix, replaced atomically (write temp + rename)
+//	journal.itwl    records appended since the last compaction
+//
+// File format:
+//
+//	header    magic "ITWL" | format version (1)
+//	record    u32 LE payload length | u32 LE CRC-32C of payload | payload
+//	payload   uvarint epoch ID | u64 LE simtime bits | ITMB document bytes
+//
+// Recovery replays snapshot then journal. A crash mid-append leaves a torn
+// record at the journal's tail; replay detects it (short header, short
+// payload, or checksum mismatch at the cut) and truncates the file back to
+// the last whole record — every fully-fsynced epoch survives, the torn one
+// never existed. Journal records whose epoch ID is already covered by the
+// snapshot are skipped, which makes the compaction sequence crash-safe at
+// every intermediate step: the rename is atomic, and a stale journal tail
+// is inert.
+//
+// The payload bytes are exactly the store's canonical epoch encoding, so a
+// recovered store rebuilds byte-identical epochs and ETags (mapstore
+// verifies this on replay).
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"math"
+	"sync"
+
+	"itmap/internal/obs"
+	"itmap/internal/simtime"
+)
+
+// Magic identifies a WAL file (snapshot or journal).
+var Magic = [4]byte{'I', 'T', 'W', 'L'}
+
+// FormatVersion is the file format this package reads and writes.
+const FormatVersion = 1
+
+// headerSize is the file header: magic + version byte.
+const headerSize = len(Magic) + 1
+
+// recordHeaderSize prefixes every record: payload length + CRC-32C.
+const recordHeaderSize = 8
+
+// maxRecordBytes bounds a single record (a full-scale epoch is ~1 MB; this
+// leaves three orders of magnitude of headroom). Larger length fields are
+// corruption, not data.
+const maxRecordBytes = 1 << 30
+
+// Typed scan errors. Scanning never panics: arbitrary bytes yield a valid
+// record prefix plus exactly one of these (see FuzzReplayWAL).
+var (
+	// ErrBadHeader: the file does not start with the ITWL magic + version.
+	ErrBadHeader = errors.New("wal: bad file header")
+	// ErrTornRecord: the file ends mid-record — the torn tail an append
+	// interrupted by a crash leaves. Recoverable by truncating to the last
+	// whole record.
+	ErrTornRecord = errors.New("wal: torn record")
+	// ErrBadChecksum: a record's payload does not match its CRC — a partial
+	// flush whose length field survived, or bit rot.
+	ErrBadChecksum = errors.New("wal: record checksum mismatch")
+	// ErrBadRecord: a record frames correctly but its payload is malformed
+	// (impossible length, short epoch header).
+	ErrBadRecord = errors.New("wal: malformed record payload")
+	// ErrClosed: the WAL has been closed (or poisoned by an unrepairable
+	// I/O failure) and accepts no further appends.
+	ErrClosed = errors.New("wal: closed")
+)
+
+// crcTable is the Castagnoli polynomial, the standard journal checksum.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Record is one journaled epoch: its dense ID, the simulated time of its
+// sweep, and the canonical ITMB encoding of its document.
+type Record struct {
+	ID      int
+	At      simtime.Time
+	Payload []byte
+}
+
+// appendRecord encodes r onto dst.
+func appendRecord(dst []byte, r Record) []byte {
+	payload := make([]byte, 0, binary.MaxVarintLen64+8+len(r.Payload))
+	payload = binary.AppendUvarint(payload, uint64(r.ID))
+	payload = binary.LittleEndian.AppendUint64(payload, math.Float64bits(float64(r.At)))
+	payload = append(payload, r.Payload...)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = binary.LittleEndian.AppendUint32(dst, crc32.Checksum(payload, crcTable))
+	return append(dst, payload...)
+}
+
+// ScanRecords parses a WAL file image. It returns every whole, checksummed
+// record in order, the byte offset the valid prefix ends at, and nil if the
+// file parsed completely — otherwise exactly one of ErrBadHeader,
+// ErrTornRecord, ErrBadChecksum, or ErrBadRecord describing why the scan
+// stopped. Re-scanning data[:valid] always parses cleanly: valid is the
+// truncation point torn-tail repair uses.
+func ScanRecords(data []byte) (recs []Record, valid int, err error) {
+	if len(data) == 0 {
+		return nil, 0, nil
+	}
+	if len(data) < headerSize {
+		// A crash during file creation can leave a partial header.
+		return nil, 0, ErrTornRecord
+	}
+	if [4]byte(data[:4]) != Magic || data[4] != FormatVersion {
+		return nil, 0, ErrBadHeader
+	}
+	off := headerSize
+	for off < len(data) {
+		rest := data[off:]
+		if len(rest) < recordHeaderSize {
+			return recs, off, ErrTornRecord
+		}
+		length := int(binary.LittleEndian.Uint32(rest))
+		sum := binary.LittleEndian.Uint32(rest[4:])
+		if length < 9 || length > maxRecordBytes {
+			// A payload can't be shorter than uvarint ID + 8 time bytes,
+			// and an absurd length field is corruption, not data.
+			return recs, off, ErrBadRecord
+		}
+		if len(rest) < recordHeaderSize+length {
+			return recs, off, ErrTornRecord
+		}
+		payload := rest[recordHeaderSize : recordHeaderSize+length]
+		if crc32.Checksum(payload, crcTable) != sum {
+			return recs, off, ErrBadChecksum
+		}
+		id, n := binary.Uvarint(payload)
+		if n <= 0 || len(payload) < n+8 || id > math.MaxInt32 {
+			return recs, off, ErrBadRecord
+		}
+		at := math.Float64frombits(binary.LittleEndian.Uint64(payload[n:]))
+		recs = append(recs, Record{ID: int(id), At: simtime.Time(at), Payload: payload[n+8:]})
+		off += recordHeaderSize + length
+	}
+	return recs, off, nil
+}
+
+// Options configures Open.
+type Options struct {
+	// Dir is the WAL directory (created if absent).
+	Dir string
+	// FS overrides the file system (nil = real files).
+	FS FS
+	// CompactEvery folds the journal into a fresh snapshot once it holds
+	// this many records (0 = default 64, negative = never compact).
+	CompactEvery int
+}
+
+// DefaultCompactEvery is the journal length that triggers compaction when
+// Options.CompactEvery is zero.
+const DefaultCompactEvery = 64
+
+// Recovery reports what Open found.
+type Recovery struct {
+	// Records is the full recovered epoch sequence, snapshot then journal.
+	Records []Record
+	// SnapshotRecords and JournalRecords split Records by origin (journal
+	// records shadowed by the snapshot count for neither).
+	SnapshotRecords int
+	JournalRecords  int
+	// TruncatedBytes is how many torn-tail bytes replay cut off the
+	// journal (0 after a clean shutdown).
+	TruncatedBytes int64
+}
+
+// WAL is an open write-ahead log. Appends are serialized by the caller's
+// write path (the store's append mutex); the WAL adds its own lock so
+// misuse degrades to blocking, not corruption.
+type WAL struct {
+	fs           FS
+	dir          string
+	snapPath     string
+	journalPath  string
+	compactEvery int
+
+	mu             sync.Mutex
+	journal        File
+	journalSize    int64 // bytes known good (header + whole records)
+	journalRecords int
+	records        []Record // every live epoch, for compaction
+	nextID         int
+	failed         error
+}
+
+func path(dir, name string) string {
+	if dir == "" {
+		return name
+	}
+	return dir + "/" + name
+}
+
+// declareMetrics registers the WAL families so a fresh process exposes
+// their HELP/TYPE headers before any append or replay.
+func declareMetrics() {
+	m := obs.Metrics()
+	m.Declare(obs.KindCounter, "itm_wal_appends_total", "Epoch records appended (and fsynced) to the journal.")
+	m.Declare(obs.KindCounter, "itm_wal_append_bytes_total", "Bytes appended to the journal, record framing included.")
+	m.Declare(obs.KindCounter, "itm_wal_compactions_total", "Journal-into-snapshot compactions completed.")
+	m.Declare(obs.KindCounter, "itm_wal_repairs_total", "Failed appends rolled back by truncating the journal to the last good record.")
+	m.Declare(obs.KindCounter, "itm_wal_replayed_epochs_total", "Epochs rebuilt from the WAL at recovery.")
+	m.Declare(obs.KindCounter, "itm_wal_truncated_bytes_total", "Torn-tail bytes cut from the journal during replay.")
+}
+
+// Open replays the WAL under dir (snapshot, then journal), repairs a torn
+// journal tail by truncating to the last whole record, and returns the WAL
+// ready for appends plus what it recovered. A corrupt snapshot is fatal —
+// snapshots are written atomically, so damage there is not a crash
+// artifact.
+func Open(opts Options) (*WAL, *Recovery, error) {
+	declareMetrics()
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = OSFS{}
+	}
+	compact := opts.CompactEvery
+	if compact == 0 {
+		compact = DefaultCompactEvery
+	}
+	w := &WAL{
+		fs:           fsys,
+		dir:          opts.Dir,
+		snapPath:     path(opts.Dir, "snapshot.itwl"),
+		journalPath:  path(opts.Dir, "journal.itwl"),
+		compactEvery: compact,
+	}
+	if err := fsys.MkdirAll(opts.Dir); err != nil {
+		return nil, nil, fmt.Errorf("wal: %w", err)
+	}
+	// A temp snapshot left by a crash mid-compaction is garbage by
+	// construction (the rename never happened).
+	_ = fsys.Remove(w.snapPath + ".tmp")
+
+	rec := &Recovery{}
+
+	// Snapshot: must parse completely or not exist.
+	if data, err := fsys.ReadFile(w.snapPath); err == nil {
+		recs, _, serr := ScanRecords(data)
+		if serr != nil {
+			return nil, nil, fmt.Errorf("wal: snapshot %s: %w", w.snapPath, serr)
+		}
+		for i, r := range recs {
+			if r.ID != i {
+				return nil, nil, fmt.Errorf("wal: snapshot %s: epoch %d at position %d: %w", w.snapPath, r.ID, i, ErrBadRecord)
+			}
+		}
+		w.records = recs
+		rec.SnapshotRecords = len(recs)
+	} else if !errors.Is(err, fs.ErrNotExist) {
+		return nil, nil, fmt.Errorf("wal: %w", err)
+	}
+
+	// Journal: torn tails are expected crash artifacts — truncate and go on.
+	jdata, err := fsys.ReadFile(w.journalPath)
+	switch {
+	case errors.Is(err, fs.ErrNotExist):
+		jdata = nil
+	case err != nil:
+		return nil, nil, fmt.Errorf("wal: %w", err)
+	}
+	jrecs, valid, serr := ScanRecords(jdata)
+	if serr != nil {
+		if errors.Is(serr, ErrBadHeader) {
+			// Not a WAL journal at all: refuse to repair over foreign data.
+			return nil, nil, fmt.Errorf("wal: journal %s: %w", w.journalPath, serr)
+		}
+		rec.TruncatedBytes = int64(len(jdata) - valid)
+		if err := fsys.Truncate(w.journalPath, int64(valid)); err != nil {
+			return nil, nil, fmt.Errorf("wal: truncating torn tail: %w", err)
+		}
+		obs.C("itm_wal_truncated_bytes_total", "Torn-tail bytes cut from the journal during replay.").
+			Add(uint64(rec.TruncatedBytes))
+	}
+	w.journalSize = int64(valid)
+	for _, r := range jrecs {
+		if r.ID < len(w.records) {
+			// Stale pre-compaction tail, already covered by the snapshot.
+			continue
+		}
+		if r.ID != len(w.records) {
+			return nil, nil, fmt.Errorf("wal: journal %s: epoch %d after %d epochs: %w",
+				w.journalPath, r.ID, len(w.records), ErrBadRecord)
+		}
+		w.records = append(w.records, r)
+		rec.JournalRecords++
+		w.journalRecords++
+	}
+	w.nextID = len(w.records)
+	rec.Records = w.records
+
+	if err := w.openJournal(valid < headerSize); err != nil {
+		return nil, nil, err
+	}
+	return w, rec, nil
+}
+
+// openJournal (re)opens the append handle, writing the file header when the
+// journal is empty (or was truncated below a whole header).
+func (w *WAL) openJournal(needHeader bool) error {
+	if needHeader && w.journalSize < int64(headerSize) {
+		// A torn header was truncated to < headerSize; start the file over.
+		if w.journalSize > 0 {
+			if err := w.fs.Truncate(w.journalPath, 0); err != nil {
+				return fmt.Errorf("wal: %w", err)
+			}
+		}
+		f, err := w.fs.OpenAppend(w.journalPath)
+		if err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		hdr := append(append([]byte(nil), Magic[:]...), FormatVersion)
+		if _, err := f.Write(hdr); err != nil {
+			_ = f.Close()
+			return fmt.Errorf("wal: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			_ = f.Close()
+			return fmt.Errorf("wal: %w", err)
+		}
+		w.journal = f
+		w.journalSize = int64(headerSize)
+		return nil
+	}
+	f, err := w.fs.OpenAppend(w.journalPath)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	w.journal = f
+	return nil
+}
+
+// Len returns the number of live epochs the WAL holds.
+func (w *WAL) Len() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.records)
+}
+
+// JournalRecords returns how many records sit in the journal since the last
+// compaction (tests and compaction diagnostics).
+func (w *WAL) JournalRecords() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.journalRecords
+}
+
+// Append journals one epoch's canonical encoding and fsyncs before
+// returning, so a successful Append survives any later crash. On a write
+// or fsync failure the journal is rolled back to the last whole record and
+// the error returned — the caller's epoch was NOT made durable, but the
+// WAL stays usable and the same append may be retried. Only a failed
+// rollback poisons the WAL.
+func (w *WAL) Append(at simtime.Time, payload []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.failed != nil {
+		return w.failed
+	}
+	rec := Record{ID: w.nextID, At: at, Payload: payload}
+	buf := appendRecord(nil, rec)
+	if _, err := w.journal.Write(buf); err != nil {
+		return w.rollback(err)
+	}
+	if err := w.journal.Sync(); err != nil {
+		return w.rollback(err)
+	}
+	w.journalSize += int64(len(buf))
+	w.journalRecords++
+	w.records = append(w.records, rec)
+	w.nextID++
+	obs.C("itm_wal_appends_total", "Epoch records appended (and fsynced) to the journal.").Inc()
+	obs.C("itm_wal_append_bytes_total", "Bytes appended to the journal, record framing included.").
+		Add(uint64(len(buf)))
+	if w.compactEvery > 0 && w.journalRecords >= w.compactEvery {
+		// Compaction failure is not data loss — the journal still holds
+		// everything — so it degrades to a longer journal, not an error.
+		_ = w.compactLocked()
+	}
+	return nil
+}
+
+// rollback undoes a failed append: the journal is truncated back to the
+// last whole record and the handle reopened, so the torn bytes the failed
+// write may have landed can never replay. An unrepairable rollback poisons
+// the WAL — better no appends than silent divergence.
+func (w *WAL) rollback(cause error) error {
+	_ = w.journal.Close()
+	if err := w.fs.Truncate(w.journalPath, w.journalSize); err != nil {
+		w.failed = fmt.Errorf("wal: append failed (%v) and rollback failed: %w", cause, err)
+		return w.failed
+	}
+	f, err := w.fs.OpenAppend(w.journalPath)
+	if err != nil {
+		w.failed = fmt.Errorf("wal: append failed (%v) and reopen failed: %w", cause, err)
+		return w.failed
+	}
+	w.journal = f
+	obs.C("itm_wal_repairs_total", "Failed appends rolled back by truncating the journal to the last good record.").Inc()
+	return fmt.Errorf("wal: append: %w", cause)
+}
+
+// Compact folds every live epoch into a fresh snapshot and empties the
+// journal. Crash-safe at every step: the snapshot replaces atomically
+// (write temp, fsync, rename, fsync dir), and until the journal truncate
+// lands its now-stale records are skipped on replay by epoch ID.
+func (w *WAL) Compact() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.failed != nil {
+		return w.failed
+	}
+	return w.compactLocked()
+}
+
+func (w *WAL) compactLocked() error {
+	tmp := w.snapPath + ".tmp"
+	f, err := w.fs.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("wal: compact: %w", err)
+	}
+	buf := append(append([]byte(nil), Magic[:]...), FormatVersion)
+	for _, r := range w.records {
+		buf = appendRecord(buf, r)
+	}
+	if _, err := f.Write(buf); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("wal: compact: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("wal: compact: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("wal: compact: %w", err)
+	}
+	if err := w.fs.Rename(tmp, w.snapPath); err != nil {
+		return fmt.Errorf("wal: compact: %w", err)
+	}
+	if err := w.fs.SyncDir(w.dir); err != nil {
+		return fmt.Errorf("wal: compact: %w", err)
+	}
+	// The snapshot now covers everything; reset the journal to bare header.
+	_ = w.journal.Close()
+	if err := w.fs.Truncate(w.journalPath, int64(headerSize)); err != nil {
+		// Snapshot landed; a stale journal only costs replay skips. Reopen
+		// and carry on appending after the stale tail.
+		f, ferr := w.fs.OpenAppend(w.journalPath)
+		if ferr != nil {
+			w.failed = fmt.Errorf("wal: compact: journal reopen: %w", ferr)
+			return w.failed
+		}
+		w.journal = f
+		return fmt.Errorf("wal: compact: journal reset: %w", err)
+	}
+	f2, err := w.fs.OpenAppend(w.journalPath)
+	if err != nil {
+		w.failed = fmt.Errorf("wal: compact: journal reopen: %w", err)
+		return w.failed
+	}
+	w.journal = f2
+	w.journalSize = int64(headerSize)
+	w.journalRecords = 0
+	obs.C("itm_wal_compactions_total", "Journal-into-snapshot compactions completed.").Inc()
+	return nil
+}
+
+// Close fsyncs and closes the journal. The WAL accepts no appends
+// afterwards; the files always end on a record boundary.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.failed != nil {
+		if errors.Is(w.failed, ErrClosed) {
+			return nil
+		}
+		return w.failed
+	}
+	err := w.journal.Sync()
+	if cerr := w.journal.Close(); err == nil {
+		err = cerr
+	}
+	w.failed = ErrClosed
+	return err
+}

@@ -1,0 +1,57 @@
+package mapstore
+
+import (
+	"bytes"
+	"fmt"
+
+	"itmap/internal/mapstore/wal"
+	"itmap/internal/obs"
+)
+
+// This file glues the store to its write-ahead log. The coupling is thin
+// because the WAL journals exactly the store's canonical epoch encoding:
+// replay decodes each record and re-ingests it through the ordinary Append
+// path, and the codec's decode→re-encode byte-identity guarantees the
+// recovered store's Encoded bytes — and therefore every ETag derived from
+// them — match the pre-crash store bit for bit.
+
+// AttachWAL journals every future append through w. Append only returns
+// success after the epoch is fsynced; a journaling failure fails the append
+// and the epoch is not published. Attach before the first append (or right
+// after RecoverStore, which does it for you).
+func (s *Store) AttachWAL(w *wal.WAL) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.wal = w
+}
+
+// RecoverStore rebuilds a store from what wal.Open replayed, verifies the
+// canonical-bytes identity for every epoch, and attaches the WAL so new
+// appends journal after the recovered tail.
+func RecoverStore(w *wal.WAL, rec *wal.Recovery) (*Store, error) {
+	s := NewStore()
+	for _, r := range rec.Records {
+		doc, err := DecodeDocument(r.Payload)
+		if err != nil {
+			return nil, fmt.Errorf("mapstore: recover epoch %d: %w", r.ID, err)
+		}
+		e, err := s.Append(r.At, doc)
+		if err != nil {
+			return nil, fmt.Errorf("mapstore: recover epoch %d: %w", r.ID, err)
+		}
+		// The replayed epoch must be indistinguishable from the journaled
+		// one: same dense ID, same canonical bytes. A mismatch means the
+		// codec round-trip broke, which would silently fork ETags — refuse.
+		if e.ID != r.ID {
+			return nil, fmt.Errorf("mapstore: recover epoch %d: store assigned ID %d", r.ID, e.ID)
+		}
+		if !bytes.Equal(e.Encoded, r.Payload) {
+			return nil, fmt.Errorf("mapstore: recover epoch %d: canonical encoding diverged (%d vs %d journaled bytes)",
+				r.ID, len(e.Encoded), len(r.Payload))
+		}
+	}
+	obs.C("itm_wal_replayed_epochs_total", "Epochs rebuilt from the WAL at recovery.").
+		Add(uint64(len(rec.Records)))
+	s.AttachWAL(w)
+	return s, nil
+}
