@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race cover bench bench-all serve-smoke obs-smoke loadgen-smoke crash-smoke experiments experiments-md csv examples clean
+.PHONY: all build vet lint lint-selftest test race cover bench bench-all serve-smoke obs-smoke loadgen-smoke crash-smoke experiments experiments-md csv examples clean
 
-all: build vet lint test crash-smoke
+all: build vet lint lint-selftest test crash-smoke
 
 build:
 	$(GO) build ./...
@@ -13,9 +13,17 @@ vet:
 	$(GO) vet ./...
 
 # Project-specific determinism & safety analyzers (internal/analysis).
-# Exit 0 clean, 1 on any diagnostic, 2 on load failure.
+# Exit 0 clean, 1 on any diagnostic, 2 on load failure. `-json` emits the
+# same findings as a sorted JSON array (see cmd/itm-lint doc).
 lint:
 	$(GO) run ./cmd/itm-lint ./...
+
+# Prove the analyzers still fire: plant one violation per analyzer (all
+# nine) in a throwaway module and assert itm-lint exits 1 with each
+# expected diagnostic. A green `make lint` means nothing if an analyzer
+# silently stopped matching.
+lint-selftest:
+	GO="$(GO)" sh scripts/lint-selftest.sh
 
 test:
 	$(GO) test -vet=all ./...

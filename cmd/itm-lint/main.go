@@ -5,17 +5,33 @@
 //
 // Usage:
 //
-//	itm-lint [-C dir] [packages...]
+//	itm-lint [-C dir] [-json] [packages...]
 //
 // With no arguments (or "./..."), every package in the module is checked.
 // Arguments are directories relative to the module root.
+//
+// With -json, diagnostics are emitted to stdout as one JSON array sorted
+// by (file, line, col, analyzer, message) — byte-identical across runs on
+// the same tree. Each element has exactly these fields:
+//
+//	{
+//	  "file": "internal/foo/bar.go",  // module-root-relative path
+//	  "line": 42,                     // 1-based
+//	  "col": 7,                       // 1-based byte column
+//	  "analyzer": "lockguard",        // or "suppress" for allow hygiene
+//	  "message": "..."
+//	}
+//
+// A clean run emits [] (never null). Load errors still go to stderr.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 
 	"itmap/internal/analysis"
 )
@@ -23,6 +39,7 @@ import (
 func main() {
 	chdir := flag.String("C", ".", "directory inside the module to lint (module root is found via go.mod)")
 	list := flag.Bool("analyzers", false, "list the analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a sorted JSON array on stdout")
 	flag.Parse()
 
 	if *list {
@@ -59,7 +76,7 @@ func main() {
 	}
 
 	loadErrs := 0
-	total := 0
+	var diags []analysis.Diagnostic
 	for _, pkg := range pkgs {
 		for _, e := range pkg.Errs {
 			fmt.Fprintf(os.Stderr, "itm-lint: load %s: %v\n", pkg.PkgPath, e)
@@ -67,16 +84,69 @@ func main() {
 		}
 		for _, d := range analysis.Run(pkg, analysis.All()) {
 			d.Pos.Filename = relPath(root, d.Pos.Filename)
+			diags = append(diags, d)
+		}
+	}
+	// One global order regardless of package load order: the JSON schema
+	// promises byte-identical output for the same tree, and the text mode
+	// benefits from the same stability.
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+
+	if *jsonOut {
+		emitJSON(diags)
+	} else {
+		for _, d := range diags {
 			fmt.Println(d)
-			total++
 		}
 	}
 	switch {
 	case loadErrs > 0:
 		os.Exit(2)
-	case total > 0:
-		fmt.Fprintf(os.Stderr, "itm-lint: %d diagnostic(s)\n", total)
+	case len(diags) > 0:
+		fmt.Fprintf(os.Stderr, "itm-lint: %d diagnostic(s)\n", len(diags))
 		os.Exit(1)
+	}
+}
+
+// jsonDiag is the documented -json element shape.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func emitJSON(diags []analysis.Diagnostic) {
+	out := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiag{
+			File:     filepath.ToSlash(d.Pos.Filename),
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fatal(err)
 	}
 }
 

@@ -1,0 +1,74 @@
+package analysis
+
+// allow_freeze_test.go pins the line-level //itmlint:allow population for
+// the v2 concurrency/durability analyzers, the way the nodeterm freeze
+// pins its package exemptions: growing the list is a reviewed decision,
+// not a drive-by. Suppressing lockguard/pubfreeze/oncefill/syncack hides
+// a potential data race or a broken durability ack, so every entry must
+// clear a high bar — today that is exactly one: WireClient.Close, which
+// deliberately skips its mutex to interrupt a blocked read.
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var v2AllowRe = regexp.MustCompile(`//itmlint:allow\s+(lockguard|pubfreeze|oncefill|syncack)\b`)
+
+// TestV2AllowlistFrozen walks every non-testdata .go file in the module
+// and asserts the v2-analyzer allows are exactly the frozen set.
+func TestV2AllowlistFrozen(t *testing.T) {
+	frozen := map[string]bool{
+		"internal/dnssim/wire.go:lockguard": true,
+	}
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	err = filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() {
+			// Fixtures demonstrate suppressions on purpose.
+			if info.Name() == "testdata" || strings.HasPrefix(info.Name(), ".") && path != root {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		rel, _ := filepath.Rel(root, path)
+		sc := bufio.NewScanner(f)
+		for sc.Scan() {
+			if m := v2AllowRe.FindStringSubmatch(sc.Text()); m != nil {
+				got[filepath.ToSlash(rel)+":"+m[1]] = true
+			}
+		}
+		return sc.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range got {
+		if !frozen[k] {
+			t.Errorf("new //itmlint:allow for a v2 analyzer at %s — these suppress race/durability checks; extend the frozen set only with review", k)
+		}
+	}
+	for k := range frozen {
+		if !got[k] {
+			t.Errorf("frozen allow %s no longer exists; prune it from the frozen set", k)
+		}
+	}
+}

@@ -13,6 +13,20 @@
 //   - errdrop:   no silently discarded errors in the measurement clients
 //   - seedflow:  no per-iteration reconstruction of randx sources
 //
+// The v2 analyzers sit on an intraprocedural dataflow layer (cfg.go,
+// dataflow.go) that tracks lock-sets, value freshness, and atomic
+// publication per program point, and turn DESIGN.md §9–§12's concurrency
+// and durability invariants into machine-checked rules:
+//
+//   - lockguard: fields annotated //itm:guardedby <mu> are accessed only
+//     while that mutex is held (exclusively, for writes)
+//   - pubfreeze: values stored into an atomic.Pointer are frozen — no
+//     writes through any alias after publication
+//   - oncefill:  fields filled inside sync.Once.Do are written nowhere
+//     else (single-flight results are write-once)
+//   - syncack:   in internal/mapstore/wal, no path from a journal write
+//     to a nil-error return may skip the fsync
+//
 // Findings can be suppressed line-by-line with
 //
 //	//itmlint:allow <analyzer> <reason>
@@ -77,7 +91,8 @@ func (d Diagnostic) String() string {
 
 // All returns the full itm-lint analyzer suite.
 func All() []*Analyzer {
-	return []*Analyzer{NoDeterm, MapOrder, FloatFold, ErrDrop, SeedFlow}
+	return []*Analyzer{NoDeterm, MapOrder, FloatFold, ErrDrop, SeedFlow,
+		LockGuard, PubFreeze, OnceFill, SyncAck}
 }
 
 // SuppressName is the pseudo-analyzer under which stale or malformed

@@ -43,9 +43,13 @@ func runCase(t *testing.T, name, pkgPathOverride string, analyzers []*Analyzer) 
 	if len(pkg.Errs) > 0 {
 		t.Fatalf("fixture %s has load errors: %v", name, pkg.Errs)
 	}
+	// The loader caches packages, so restore the real path afterwards:
+	// tests may run the same fixture with and without an override.
+	origPath := pkg.PkgPath
 	if pkgPathOverride != "" {
 		pkg.PkgPath = pkgPathOverride
 	}
+	defer func() { pkg.PkgPath = origPath }()
 	var lines []string
 	for _, d := range Run(pkg, analyzers) {
 		d.Pos.Filename = filepath.Base(d.Pos.Filename)
@@ -126,6 +130,45 @@ func TestSuppressGolden(t *testing.T) {
 		}
 	}
 	checkGolden(t, "suppress", lines)
+}
+
+func TestLockGuardGolden(t *testing.T) {
+	checkGolden(t, "lockguard", runCase(t, "lockguard", "", All()))
+}
+
+func TestPubFreezeGolden(t *testing.T) {
+	checkGolden(t, "pubfreeze", runCase(t, "pubfreeze", "", All()))
+}
+
+func TestOnceFillGolden(t *testing.T) {
+	checkGolden(t, "oncefill", runCase(t, "oncefill", "", All()))
+}
+
+// TestSyncAckGolden overrides the fixture's package path: syncack patrols
+// only internal/mapstore/wal, and the structural file-shape check must
+// fire on a journal type it has never imported.
+func TestSyncAckGolden(t *testing.T) {
+	checkGolden(t, "syncack", runCase(t, "syncack", "itmap/internal/mapstore/wal", All()))
+}
+
+// TestSyncAckOutOfScope proves the same fixture is silent under its real
+// (testdata) package path: durability rules do not leak out of the WAL.
+// (The fixture's syncack allow correctly turns stale here — the analyzer
+// ran and produced nothing — so only real syncack diagnostics count as
+// leaks.)
+func TestSyncAckOutOfScope(t *testing.T) {
+	for _, l := range runCase(t, "syncack", "", All()) {
+		if strings.Contains(l, "ack only after fsync") {
+			t.Errorf("out-of-scope package produced a syncack diagnostic: %s", l)
+		}
+	}
+}
+
+// TestGo122Golden proves the loader, CFG, and dataflow handle modern
+// syntax — range-over-int, generics, method values — and that the one
+// planted violation inside a range-over-int body is still found.
+func TestGo122Golden(t *testing.T) {
+	checkGolden(t, "go122", runCase(t, "go122", "", All()))
 }
 
 // TestPartialRunIgnoresForeignAllows proves a single-analyzer run does not

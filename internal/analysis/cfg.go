@@ -1,0 +1,402 @@
+package analysis
+
+// cfg.go builds per-function control-flow graphs over plain go/ast — no
+// golang.org/x/tools. The graphs are statement-level: each Block holds a
+// run of straight-line nodes (statements plus the decomposed pieces of
+// composite statements, e.g. an if's Init and Cond), and Succs lists the
+// blocks control may reach next. A synthetic Exit block terminates every
+// function; return, panic, and falling off the end all edge into it.
+//
+// The builder understands the full statement grammar of Go 1.22,
+// including range-over-int and range-over-func (a RangeStmt is kept whole
+// as a loop-head node), labeled break/continue, goto, fallthrough, and
+// select. Function literals are NOT inlined: a FuncLit appearing inside a
+// statement is an opaque value here, and callers analyze its body as a
+// separate graph (see flowFuncs).
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Block is one straight-line run of AST nodes with its successor edges.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+}
+
+// CFG is one function body's control-flow graph. Blocks[0] is the entry;
+// Exit is the synthetic sink every terminating path reaches.
+type CFG struct {
+	Blocks []*Block
+	Exit   *Block
+}
+
+// BuildCFG constructs the control-flow graph of one function body.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{
+		cfg:    &CFG{},
+		labels: make(map[string]*Block),
+	}
+	b.cfg.Exit = b.newBlock() // Blocks[0] temporarily; fixed below
+	entry := b.newBlock()
+	// Keep entry at index 0 for readers that iterate Blocks in order.
+	b.cfg.Blocks[0], b.cfg.Blocks[1] = b.cfg.Blocks[1], b.cfg.Blocks[0]
+	b.cfg.Blocks[0].Index, b.cfg.Blocks[1].Index = 0, 1
+	b.cur = entry
+	b.stmtList(body.List)
+	b.edgeTo(b.cfg.Exit)
+	for _, g := range b.gotos {
+		if target, ok := b.labels[g.label]; ok {
+			g.from.Succs = append(g.from.Succs, target)
+		} else {
+			// Undefined label: type checking already rejected it; route to
+			// Exit so the graph stays well-formed on broken input.
+			g.from.Succs = append(g.from.Succs, b.cfg.Exit)
+		}
+	}
+	return b.cfg
+}
+
+// branchTarget is one live break or continue destination, optionally
+// labeled.
+type branchTarget struct {
+	label string
+	block *Block
+}
+
+// pendingGoto is a goto awaiting its label's block (forward gotos).
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+type cfgBuilder struct {
+	cfg       *CFG
+	cur       *Block
+	breaks    []branchTarget
+	continues []branchTarget
+	labels    map[string]*Block
+	gotos     []pendingGoto
+	// curLabel is the label of the labeled statement being entered, so the
+	// next loop/switch/select claims it for break/continue matching.
+	curLabel string
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+// edgeTo links the current block to next (if control can still flow).
+func (b *cfgBuilder) edgeTo(next *Block) {
+	if b.cur != nil {
+		b.cur.Succs = append(b.cur.Succs, next)
+	}
+}
+
+// startBlock makes next the current block.
+func (b *cfgBuilder) startBlock(next *Block) { b.cur = next }
+
+// add appends a straight-line node to the current block.
+func (b *cfgBuilder) add(n ast.Node) {
+	if b.cur != nil && n != nil {
+		b.cur.Nodes = append(b.cur.Nodes, n)
+	}
+}
+
+// takeLabel consumes the pending label from an enclosing LabeledStmt.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.curLabel
+	b.curLabel = ""
+	return l
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch x := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		b.stmtList(x.List)
+	case *ast.LabeledStmt:
+		// The label starts a fresh block so gotos have a landing site.
+		lb := b.newBlock()
+		b.edgeTo(lb)
+		b.startBlock(lb)
+		b.labels[x.Label.Name] = lb
+		b.curLabel = x.Label.Name
+		b.stmt(x.Stmt)
+		b.curLabel = ""
+	case *ast.IfStmt:
+		b.takeLabel()
+		if x.Init != nil {
+			b.add(x.Init)
+		}
+		b.add(x.Cond)
+		thenB := b.newBlock()
+		after := b.newBlock()
+		b.edgeTo(thenB)
+		if x.Else != nil {
+			elseB := b.newBlock()
+			b.edgeTo(elseB)
+			b.startBlock(thenB)
+			b.stmtList(x.Body.List)
+			b.edgeTo(after)
+			b.startBlock(elseB)
+			b.stmt(x.Else)
+			b.edgeTo(after)
+		} else {
+			b.edgeTo(after)
+			b.startBlock(thenB)
+			b.stmtList(x.Body.List)
+			b.edgeTo(after)
+		}
+		b.startBlock(after)
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if x.Init != nil {
+			b.add(x.Init)
+		}
+		head := b.newBlock()
+		body := b.newBlock()
+		after := b.newBlock()
+		b.edgeTo(head)
+		b.startBlock(head)
+		if x.Cond != nil {
+			b.add(x.Cond)
+			b.edgeTo(after)
+		}
+		b.edgeTo(body)
+		contTarget := head
+		var post *Block
+		if x.Post != nil {
+			post = b.newBlock()
+			post.Nodes = append(post.Nodes, x.Post)
+			post.Succs = append(post.Succs, head)
+			contTarget = post
+		}
+		b.pushLoop(label, after, contTarget)
+		b.startBlock(body)
+		b.stmtList(x.Body.List)
+		b.popLoop()
+		b.edgeTo(contTarget)
+		b.startBlock(after)
+	case *ast.RangeStmt:
+		// Range loops — over slices, maps, channels, ints (Go 1.22), and
+		// funcs — keep the whole RangeStmt as the loop-head node; per-
+		// iteration key/value definition happens there.
+		label := b.takeLabel()
+		head := b.newBlock()
+		body := b.newBlock()
+		after := b.newBlock()
+		b.edgeTo(head)
+		b.startBlock(head)
+		b.add(x)
+		b.edgeTo(body)
+		b.edgeTo(after)
+		b.pushLoop(label, after, head)
+		b.startBlock(body)
+		b.stmtList(x.Body.List)
+		b.popLoop()
+		b.edgeTo(head)
+		b.startBlock(after)
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if x.Init != nil {
+			b.add(x.Init)
+		}
+		if x.Tag != nil {
+			b.add(x.Tag)
+		}
+		b.switchBody(label, x.Body, true)
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if x.Init != nil {
+			b.add(x.Init)
+		}
+		b.add(x.Assign)
+		b.switchBody(label, x.Body, false)
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		after := b.newBlock()
+		b.breaks = append(b.breaks, branchTarget{label, after})
+		head := b.cur
+		for _, c := range x.Body.List {
+			cc := c.(*ast.CommClause)
+			cb := b.newBlock()
+			head.Succs = append(head.Succs, cb)
+			b.startBlock(cb)
+			if cc.Comm != nil {
+				b.add(cc.Comm)
+			}
+			b.stmtList(cc.Body)
+			b.edgeTo(after)
+		}
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.startBlock(after)
+	case *ast.ReturnStmt:
+		b.takeLabel()
+		b.add(x)
+		b.edgeTo(b.cfg.Exit)
+		b.startBlock(b.newBlock()) // anything after is unreachable
+	case *ast.BranchStmt:
+		b.takeLabel()
+		switch x.Tok {
+		case token.BREAK:
+			if t := findTarget(b.breaks, x.Label); t != nil {
+				b.edgeTo(t)
+			}
+		case token.CONTINUE:
+			if t := findTarget(b.continues, x.Label); t != nil {
+				b.edgeTo(t)
+			}
+		case token.GOTO:
+			if target, ok := b.labels[x.Label.Name]; ok {
+				b.edgeTo(target)
+			} else if b.cur != nil {
+				b.gotos = append(b.gotos, pendingGoto{b.cur, x.Label.Name})
+			}
+		case token.FALLTHROUGH:
+			// Handled structurally in switchBody; nothing to do here.
+			return
+		}
+		b.startBlock(b.newBlock())
+	case *ast.ExprStmt:
+		b.takeLabel()
+		b.add(x)
+		if isPanicCall(x.X) {
+			b.edgeTo(b.cfg.Exit)
+			b.startBlock(b.newBlock())
+		}
+	default:
+		// Assign, IncDec, Decl, Defer, Go, Send, Empty: straight-line.
+		b.takeLabel()
+		if _, ok := s.(*ast.EmptyStmt); !ok {
+			b.add(s)
+		}
+	}
+}
+
+// switchBody wires the clauses of a switch or type switch: every case is
+// entered from the head block (conservatively — go/types has already
+// verified exhaustiveness rules), break jumps past it, and in an
+// expression switch a trailing fallthrough edges into the next clause.
+func (b *cfgBuilder) switchBody(label string, body *ast.BlockStmt, allowFallthrough bool) {
+	head := b.cur
+	after := b.newBlock()
+	b.breaks = append(b.breaks, branchTarget{label, after})
+
+	clauses := make([]*ast.CaseClause, 0, len(body.List))
+	for _, c := range body.List {
+		clauses = append(clauses, c.(*ast.CaseClause))
+	}
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, cc := range clauses {
+		blocks[i] = b.newBlock()
+		head.Succs = append(head.Succs, blocks[i])
+		if cc.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		head.Succs = append(head.Succs, after)
+	}
+	for i, cc := range clauses {
+		b.startBlock(blocks[i])
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		stmts := cc.Body
+		fallsThrough := false
+		if allowFallthrough && len(stmts) > 0 {
+			if br, ok := stmts[len(stmts)-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				fallsThrough = i+1 < len(blocks)
+				stmts = stmts[:len(stmts)-1]
+			}
+		}
+		b.stmtList(stmts)
+		if fallsThrough {
+			b.edgeTo(blocks[i+1])
+		} else {
+			b.edgeTo(after)
+		}
+	}
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.startBlock(after)
+}
+
+func (b *cfgBuilder) pushLoop(label string, brk, cont *Block) {
+	b.breaks = append(b.breaks, branchTarget{label, brk})
+	b.continues = append(b.continues, branchTarget{label, cont})
+}
+
+func (b *cfgBuilder) popLoop() {
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+}
+
+// findTarget resolves a break/continue: labeled picks the matching frame,
+// bare picks the innermost.
+func findTarget(stack []branchTarget, label *ast.Ident) *Block {
+	if label == nil {
+		if len(stack) == 0 {
+			return nil
+		}
+		return stack[len(stack)-1].block
+	}
+	for i := len(stack) - 1; i >= 0; i-- {
+		if stack[i].label == label.Name {
+			return stack[i].block
+		}
+	}
+	return nil
+}
+
+// isPanicCall reports whether e is a direct call of the panic builtin.
+func isPanicCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// shallowWalk visits the expressions a single CFG node owns, pruning
+// nested function literals (their bodies are separate graphs) and, for a
+// RangeStmt loop head, the loop body (its statements live in other
+// blocks). It is the expression-level companion to block iteration: a
+// visitor over every node of every block via shallowWalk sees each
+// expression of the function exactly once.
+func shallowWalk(n ast.Node, visit func(ast.Node) bool) {
+	if rs, ok := n.(*ast.RangeStmt); ok {
+		if rs.Key != nil {
+			shallowWalk(rs.Key, visit)
+		}
+		if rs.Value != nil {
+			shallowWalk(rs.Value, visit)
+		}
+		shallowWalk(rs.X, visit)
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == nil {
+			return false
+		}
+		if !visit(m) {
+			return false
+		}
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		return true
+	})
+}

@@ -1,0 +1,238 @@
+package analysis
+
+// cfg_test.go pins the CFG builder's control-flow corners — goto, labeled
+// break/continue, select, fallthrough, panic — without type-checking:
+// BuildCFG needs only syntax, so each case parses a tiny function and
+// asserts reachability between mark("...") calls placed along the paths
+// of interest.
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strconv"
+	"testing"
+)
+
+func buildTestCFG(t *testing.T, body string) *CFG {
+	t.Helper()
+	src := "package p\nfunc mark(string) {}\nfunc f(x int, ch chan int) {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fn := f.Decls[1].(*ast.FuncDecl)
+	cfg := BuildCFG(fn.Body)
+	for _, b := range cfg.Blocks {
+		for _, s := range b.Succs {
+			if s.Index < 0 || s.Index >= len(cfg.Blocks) {
+				t.Fatalf("block %d has successor with out-of-range index %d", b.Index, s.Index)
+			}
+		}
+	}
+	if len(cfg.Exit.Succs) != 0 {
+		t.Fatalf("exit block has %d successors, want 0", len(cfg.Exit.Succs))
+	}
+	return cfg
+}
+
+// markerBlock returns the index of the block containing mark(name).
+func markerBlock(t *testing.T, cfg *CFG, name string) int {
+	t.Helper()
+	for _, b := range cfg.Blocks {
+		for _, n := range b.Nodes {
+			found := false
+			ast.Inspect(n, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok || len(call.Args) != 1 {
+					return true
+				}
+				id, ok := call.Fun.(*ast.Ident)
+				if !ok || id.Name != "mark" {
+					return true
+				}
+				lit, ok := call.Args[0].(*ast.BasicLit)
+				if ok && lit.Value == strconv.Quote(name) {
+					found = true
+				}
+				return true
+			})
+			if found {
+				return b.Index
+			}
+		}
+	}
+	t.Fatalf("mark(%q) not found in any block", name)
+	return -1
+}
+
+// reachableFrom returns the set of block indexes reachable from start
+// (start included).
+func reachableFrom(cfg *CFG, start int) map[int]bool {
+	seen := map[int]bool{start: true}
+	work := []int{start}
+	for len(work) > 0 {
+		idx := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, s := range cfg.Blocks[idx].Succs {
+			if !seen[s.Index] {
+				seen[s.Index] = true
+				work = append(work, s.Index)
+			}
+		}
+	}
+	return seen
+}
+
+// checkReach asserts which markers are reachable from the entry block.
+func checkReach(t *testing.T, cfg *CFG, want map[string]bool) {
+	t.Helper()
+	seen := reachableFrom(cfg, 0)
+	for name, wantReach := range want {
+		got := seen[markerBlock(t, cfg, name)]
+		if got != wantReach {
+			t.Errorf("mark(%q): reachable from entry = %v, want %v", name, got, wantReach)
+		}
+	}
+}
+
+func TestCFGGotoForward(t *testing.T) {
+	cfg := buildTestCFG(t, `
+	goto done
+	mark("skipped")
+done:
+	mark("after")`)
+	checkReach(t, cfg, map[string]bool{"skipped": false, "after": true})
+}
+
+func TestCFGGotoBackward(t *testing.T) {
+	cfg := buildTestCFG(t, `
+again:
+	mark("loop")
+	if x > 0 {
+		goto again
+	}
+	mark("after")`)
+	checkReach(t, cfg, map[string]bool{"loop": true, "after": true})
+	// The backward goto closes a cycle: some successor of "loop" reaches
+	// "loop" again.
+	loop := markerBlock(t, cfg, "loop")
+	cyclic := false
+	for _, s := range cfg.Blocks[loop].Succs {
+		if reachableFrom(cfg, s.Index)[loop] {
+			cyclic = true
+		}
+	}
+	if !cyclic {
+		t.Errorf("backward goto did not close a cycle through mark(\"loop\")")
+	}
+}
+
+func TestCFGLabeledBreak(t *testing.T) {
+	cfg := buildTestCFG(t, `
+outer:
+	for {
+		for {
+			if x > 0 {
+				break outer
+			}
+			mark("inner")
+		}
+		mark("between")
+	}
+	mark("after")`)
+	// break outer exits both loops, so "after" is reachable. The inner
+	// condition-less for only exits via break outer, so "between" (after
+	// the inner loop, inside the outer body) is unreachable.
+	checkReach(t, cfg, map[string]bool{"inner": true, "between": false, "after": true})
+}
+
+func TestCFGLabeledContinue(t *testing.T) {
+	cfg := buildTestCFG(t, `
+outer:
+	for i := 0; i < x; i++ {
+		for j := 0; j < x; j++ {
+			if j > i {
+				continue outer
+			}
+			mark("inner")
+		}
+		mark("tail")
+	}
+	mark("after")`)
+	checkReach(t, cfg, map[string]bool{"inner": true, "tail": true, "after": true})
+}
+
+func TestCFGSelect(t *testing.T) {
+	cfg := buildTestCFG(t, `
+	select {
+	case v := <-ch:
+		_ = v
+		mark("recv")
+	case ch <- x:
+		mark("send")
+	default:
+		mark("none")
+	}
+	mark("after")`)
+	checkReach(t, cfg, map[string]bool{"recv": true, "send": true, "none": true, "after": true})
+	after := markerBlock(t, cfg, "after")
+	for _, name := range []string{"recv", "send", "none"} {
+		if !reachableFrom(cfg, markerBlock(t, cfg, name))[after] {
+			t.Errorf("select case %q does not flow to the statement after the select", name)
+		}
+	}
+}
+
+func TestCFGFallthrough(t *testing.T) {
+	cfg := buildTestCFG(t, `
+	switch x {
+	case 1:
+		mark("one")
+		fallthrough
+	case 2:
+		mark("two")
+	default:
+		mark("def")
+	}
+	mark("after")`)
+	checkReach(t, cfg, map[string]bool{"one": true, "two": true, "def": true, "after": true})
+	// fallthrough chains case 1 into case 2's body.
+	if !reachableFrom(cfg, markerBlock(t, cfg, "one"))[markerBlock(t, cfg, "two")] {
+		t.Errorf("fallthrough edge from case 1 to case 2 missing")
+	}
+	// Without fallthrough, case 2 does not flow into default.
+	if reachableFrom(cfg, markerBlock(t, cfg, "two"))[markerBlock(t, cfg, "def")] {
+		t.Errorf("case 2 unexpectedly flows into default")
+	}
+}
+
+func TestCFGPanicTerminates(t *testing.T) {
+	cfg := buildTestCFG(t, `
+	if x > 0 {
+		mark("doomed")
+		panic("boom")
+	}
+	mark("after")`)
+	checkReach(t, cfg, map[string]bool{"doomed": true, "after": true})
+	// From the panic's block, execution goes only to the exit: "after"
+	// must not be reachable.
+	if reachableFrom(cfg, markerBlock(t, cfg, "doomed"))[markerBlock(t, cfg, "after")] {
+		t.Errorf("statement after an if-panic branch is reachable from the panic block")
+	}
+}
+
+func TestCFGTypeSwitch(t *testing.T) {
+	src := `
+	var v interface{} = x
+	switch v.(type) {
+	case int:
+		mark("int")
+	case string:
+		mark("string")
+	}
+	mark("after")`
+	cfg := buildTestCFG(t, src)
+	checkReach(t, cfg, map[string]bool{"int": true, "string": true, "after": true})
+}

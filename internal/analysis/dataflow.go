@@ -1,0 +1,638 @@
+package analysis
+
+// dataflow.go is the intraprocedural engine under the v2 analyzers
+// (lockguard, pubfreeze, oncefill). It runs one combined forward
+// analysis over a function's CFG, tracking three facts per program point:
+//
+//   - lock-set: which mutexes (identified by rendered path, "s.mu" or
+//     "f.mem.mu") are provably held, and whether exclusively or shared.
+//     Merge is intersection — a lock counts only if held on every path.
+//     A deferred Unlock releases at return, so it does not kill the lock.
+//
+//   - freshness: which local variables provably hold an allocation this
+//     function created and has not yet shared (reaching definitions are
+//     all &T{}/T{}/new/make and the value has not escaped via a call
+//     argument, composite literal, closure capture, channel send, or a
+//     store through another object). Fresh values are exempt from guard
+//     checks: constructors may fill fields before the first share.
+//
+//   - published-set: which locals were handed to an atomic.Pointer
+//     Store/Swap/CompareAndSwap — shared with concurrent readers, so any
+//     later write through them is a data race. Merge is union, and plain
+//     pointer copies (x := y) propagate publication both directions.
+//
+// The lattices are finite and the transfer functions monotone, so the
+// worklist converges. Analyzers replay the solution with walk(), which
+// hands them the state in effect immediately before each node runs.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// pathKey names an lvalue chain of identifiers: the root object plus the
+// rendered path ("w.mu", "f.mem.mu"). Parens and derefs are transparent,
+// so (*w).mu and w.mu coincide.
+type pathKey struct {
+	root types.Object
+	path string
+}
+
+// pathOf renders e as a pathKey if it is an identifier/selector chain.
+func (p *Pass) pathOf(e ast.Expr) (pathKey, bool) {
+	switch x := e.(type) {
+	case *ast.Ident:
+		if obj := p.ObjectOf(x); obj != nil {
+			return pathKey{root: obj, path: x.Name}, true
+		}
+	case *ast.SelectorExpr:
+		if base, ok := p.pathOf(x.X); ok {
+			return pathKey{root: base.root, path: base.path + "." + x.Sel.Name}, true
+		}
+	case *ast.ParenExpr:
+		return p.pathOf(x.X)
+	case *ast.StarExpr:
+		return p.pathOf(x.X)
+	}
+	return pathKey{}, false
+}
+
+// lockMode distinguishes shared (RLock) from exclusive (Lock) holds.
+// Reads are safe under either; writes require exclusive.
+type lockMode int
+
+const (
+	lockShared lockMode = iota + 1
+	lockExclusive
+)
+
+// flowState is the dataflow fact set at one program point. A nil
+// *flowState is TOP: the not-yet-reached state, identity for meet.
+type flowState struct {
+	locks map[pathKey]lockMode
+	fresh map[types.Object]bool
+	pub   map[types.Object]bool
+}
+
+func newState() *flowState {
+	return &flowState{
+		locks: make(map[pathKey]lockMode),
+		fresh: make(map[types.Object]bool),
+		pub:   make(map[types.Object]bool),
+	}
+}
+
+func (s *flowState) clone() *flowState {
+	c := &flowState{
+		locks: make(map[pathKey]lockMode, len(s.locks)),
+		fresh: make(map[types.Object]bool, len(s.fresh)),
+		pub:   make(map[types.Object]bool, len(s.pub)),
+	}
+	for k, v := range s.locks {
+		c.locks[k] = v
+	}
+	for o := range s.fresh {
+		c.fresh[o] = true
+	}
+	for o := range s.pub {
+		c.pub[o] = true
+	}
+	return c
+}
+
+// meet joins two predecessor out-states: locks and freshness intersect
+// (with RLock∧Lock = RLock), publication unions.
+func meet(a, b *flowState) *flowState {
+	if a == nil {
+		return b.clone()
+	}
+	out := &flowState{
+		locks: make(map[pathKey]lockMode),
+		fresh: make(map[types.Object]bool),
+		pub:   make(map[types.Object]bool, len(a.pub)+len(b.pub)),
+	}
+	for k, m := range a.locks {
+		if m2, ok := b.locks[k]; ok {
+			if m2 < m {
+				m = m2
+			}
+			out.locks[k] = m
+		}
+	}
+	for o := range a.fresh {
+		if b.fresh[o] {
+			out.fresh[o] = true
+		}
+	}
+	for o := range a.pub {
+		out.pub[o] = true
+	}
+	for o := range b.pub {
+		out.pub[o] = true
+	}
+	return out
+}
+
+func statesEqual(a, b *flowState) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if len(a.locks) != len(b.locks) || len(a.fresh) != len(b.fresh) || len(a.pub) != len(b.pub) {
+		return false
+	}
+	for k, v := range a.locks {
+		if b.locks[k] != v {
+			return false
+		}
+	}
+	for o := range a.fresh {
+		if !b.fresh[o] {
+			return false
+		}
+	}
+	for o := range a.pub {
+		if !b.pub[o] {
+			return false
+		}
+	}
+	return true
+}
+
+// aliasSets is a flow-insensitive union-find over pointer-typed locals
+// that are plain copies of one another (y := x). Publishing any member
+// publishes the whole class — every copy points at the same allocation.
+// Value (non-pointer) copies are excluded: writing a struct copy does not
+// mutate the published original.
+type aliasSets struct {
+	parent map[types.Object]types.Object
+}
+
+func buildAliases(p *Pass, body *ast.BlockStmt) *aliasSets {
+	a := &aliasSets{parent: make(map[types.Object]types.Object)}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			dst, ok := unparen(lhs).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			src, ok := unparen(as.Rhs[i]).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			dobj, sobj := p.ObjectOf(dst), p.ObjectOf(src)
+			if dobj == nil || sobj == nil || !isPointerVar(dobj) || !isPointerVar(sobj) {
+				continue
+			}
+			a.union(dobj, sobj)
+		}
+		return true
+	})
+	return a
+}
+
+func isPointerVar(o types.Object) bool {
+	v, ok := o.(*types.Var)
+	if !ok {
+		return false
+	}
+	_, ok = v.Type().Underlying().(*types.Pointer)
+	return ok
+}
+
+func (a *aliasSets) find(o types.Object) types.Object {
+	for {
+		p, ok := a.parent[o]
+		if !ok || p == o {
+			return o
+		}
+		o = p
+	}
+}
+
+func (a *aliasSets) union(x, y types.Object) {
+	rx, ry := a.find(x), a.find(y)
+	if rx != ry {
+		a.parent[rx] = ry
+	}
+}
+
+// each calls fn for every member of o's alias class, o included. Order
+// is unspecified — callers only set per-object flags.
+func (a *aliasSets) each(o types.Object, fn func(types.Object)) {
+	rep := a.find(o)
+	fn(o)
+	if rep != o {
+		fn(rep)
+	}
+	for k := range a.parent {
+		if k != o && k != rep && a.find(k) == rep {
+			fn(k)
+		}
+	}
+}
+
+// funcFlow is the solved dataflow of one function body.
+type funcFlow struct {
+	p       *Pass
+	cfg     *CFG
+	in      []*flowState // block-entry states; nil = unreachable
+	aliases *aliasSets
+}
+
+// newFuncFlow builds the CFG for body, seeds the entry with initLocks
+// (from //itm:locked annotations; nil for none), and solves to fixpoint.
+func newFuncFlow(p *Pass, body *ast.BlockStmt, initLocks map[pathKey]lockMode) *funcFlow {
+	ff := &funcFlow{p: p, cfg: BuildCFG(body), aliases: buildAliases(p, body)}
+	n := len(ff.cfg.Blocks)
+	ff.in = make([]*flowState, n)
+	entry := newState()
+	for k, m := range initLocks {
+		entry.locks[k] = m
+	}
+	ff.in[0] = entry
+
+	work := []int{0}
+	queued := make([]bool, n)
+	queued[0] = true
+	for len(work) > 0 {
+		idx := work[0]
+		work = work[1:]
+		queued[idx] = false
+		b := ff.cfg.Blocks[idx]
+		st := ff.in[idx].clone()
+		for _, node := range b.Nodes {
+			ff.apply(st, node)
+		}
+		for _, succ := range b.Succs {
+			merged := meet(ff.in[succ.Index], st)
+			if !statesEqual(merged, ff.in[succ.Index]) {
+				ff.in[succ.Index] = merged
+				if !queued[succ.Index] {
+					work = append(work, succ.Index)
+					queued[succ.Index] = true
+				}
+			}
+		}
+	}
+	return ff
+}
+
+// walk replays the solution in block order, calling visit with the state
+// in effect immediately BEFORE each node executes. Unreachable blocks are
+// skipped. The state passed to visit is live — do not retain it.
+func (ff *funcFlow) walk(visit func(n ast.Node, st *flowState)) {
+	for _, b := range ff.cfg.Blocks {
+		if ff.in[b.Index] == nil {
+			continue
+		}
+		st := ff.in[b.Index].clone()
+		for _, n := range b.Nodes {
+			visit(n, st)
+			ff.apply(st, n)
+		}
+	}
+}
+
+// apply is the transfer function for one CFG node.
+func (ff *funcFlow) apply(st *flowState, n ast.Node) {
+	deferred := false
+	scan := n
+	if d, ok := n.(*ast.DeferStmt); ok {
+		deferred = true
+		scan = d.Call
+	}
+
+	// Expression effects: lock operations, atomic publication, escapes.
+	shallowWalk(scan, func(m ast.Node) bool {
+		switch e := m.(type) {
+		case *ast.CallExpr:
+			if ff.applyLockOp(st, e, deferred) {
+				return false
+			}
+			if ff.applyPublish(st, e) {
+				return false
+			}
+			ff.applyCallEscapes(st, e)
+		case *ast.UnaryExpr:
+			if e.Op == token.AND {
+				ff.killFreshExpr(st, e.X)
+			}
+		case *ast.CompositeLit:
+			for _, el := range e.Elts {
+				v := el
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				ff.killFreshExpr(st, v)
+			}
+		case *ast.FuncLit:
+			ff.killCaptured(st, e)
+		}
+		return true
+	})
+
+	// Definition effects.
+	switch x := n.(type) {
+	case *ast.AssignStmt:
+		ff.applyAssign(st, x)
+	case *ast.DeclStmt:
+		ff.applyDecl(st, x)
+	case *ast.RangeStmt:
+		for _, kv := range []ast.Expr{x.Key, x.Value} {
+			if kv == nil {
+				continue
+			}
+			if id, ok := unparen(kv).(*ast.Ident); ok {
+				if obj := ff.p.ObjectOf(id); obj != nil {
+					delete(st.fresh, obj)
+					delete(st.pub, obj)
+				}
+			}
+		}
+	case *ast.SendStmt:
+		ff.killFreshExpr(st, x.Value)
+	}
+}
+
+// applyLockOp recognizes sync mutex method calls and updates the lock
+// set. It reports true when e is such a call (so the receiver path is not
+// mistaken for an escaping argument). Deferred unlocks release at return,
+// not here, so under defer the call is recognized but changes nothing.
+// TryLock's success is result-dependent, so it never adds to the set.
+func (ff *funcFlow) applyLockOp(st *flowState, e *ast.CallExpr, deferred bool) bool {
+	sel, ok := e.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := ff.p.ObjectOf(sel.Sel).(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock", "Unlock", "RUnlock", "TryLock", "TryRLock":
+	default:
+		return false
+	}
+	key, renderable := ff.p.pathOf(sel.X)
+	if !renderable || deferred {
+		return true
+	}
+	switch fn.Name() {
+	case "Lock":
+		st.locks[key] = lockExclusive
+	case "RLock":
+		if st.locks[key] < lockShared {
+			st.locks[key] = lockShared
+		}
+	case "Unlock", "RUnlock":
+		delete(st.locks, key)
+	}
+	return true
+}
+
+// applyPublish recognizes atomic.Pointer Store/Swap/CompareAndSwap and
+// marks the stored value's alias class published (and no longer fresh).
+func (ff *funcFlow) applyPublish(st *flowState, e *ast.CallExpr) bool {
+	sel, ok := e.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := ff.p.ObjectOf(sel.Sel).(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	if !isAtomicPointer(ff.p.TypeOf(sel.X)) {
+		return false
+	}
+	var val ast.Expr
+	switch fn.Name() {
+	case "Store", "Swap":
+		if len(e.Args) == 1 {
+			val = e.Args[0]
+		}
+	case "CompareAndSwap":
+		if len(e.Args) == 2 {
+			val = e.Args[1]
+		}
+	default:
+		return false
+	}
+	if val == nil {
+		return true
+	}
+	if id, ok := unparen(val).(*ast.Ident); ok {
+		if obj := ff.p.ObjectOf(id); obj != nil {
+			ff.aliases.each(obj, func(m types.Object) {
+				st.pub[m] = true
+				delete(st.fresh, m)
+			})
+		}
+	}
+	return true
+}
+
+// isAtomicPointer reports whether t (or *t) is sync/atomic.Pointer[T] —
+// and only Pointer: the scalar atomics (Uint64 etc.) hold no references.
+func isAtomicPointer(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic" && obj.Name() == "Pointer"
+}
+
+// applyCallEscapes kills freshness of bare-identifier arguments and
+// method receivers: once a value is handed to another function it may be
+// retained anywhere, so it is no longer provably unshared. len and cap
+// only observe their argument, so they are exempt.
+func (ff *funcFlow) applyCallEscapes(st *flowState, e *ast.CallExpr) {
+	if id, ok := e.Fun.(*ast.Ident); ok {
+		if b, ok := ff.p.ObjectOf(id).(*types.Builtin); ok {
+			if b.Name() == "len" || b.Name() == "cap" {
+				return
+			}
+		}
+	}
+	for _, arg := range e.Args {
+		ff.killFreshExpr(st, arg)
+	}
+	if sel, ok := e.Fun.(*ast.SelectorExpr); ok {
+		ff.killFreshExpr(st, sel.X)
+	}
+}
+
+// killFreshExpr clears freshness if e is a bare identifier.
+func (ff *funcFlow) killFreshExpr(st *flowState, e ast.Expr) {
+	if id, ok := unparen(e).(*ast.Ident); ok {
+		if obj := ff.p.ObjectOf(id); obj != nil {
+			delete(st.fresh, obj)
+		}
+	}
+}
+
+// killCaptured clears freshness of every outside variable a function
+// literal captures: the closure may share the value with anyone.
+func (ff *funcFlow) killCaptured(st *flowState, lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := ff.p.ObjectOf(id)
+		if obj == nil || obj.Pos() == token.NoPos {
+			return true
+		}
+		if obj.Pos() < lit.Pos() || obj.Pos() >= lit.End() {
+			delete(st.fresh, obj)
+		}
+		return true
+	})
+}
+
+// applyAssign handles definitions: an allocation RHS makes the LHS fresh,
+// an identifier RHS copies the source's fresh/published facts, anything
+// else resets to unknown. A bare identifier stored through a non-
+// identifier LHS (s.field = x, m[k] = x) escapes.
+func (ff *funcFlow) applyAssign(st *flowState, as *ast.AssignStmt) {
+	oneToOne := len(as.Lhs) == len(as.Rhs)
+	for i, lhs := range as.Lhs {
+		var rhs ast.Expr
+		if oneToOne {
+			rhs = unparen(as.Rhs[i])
+		}
+		id, isIdent := unparen(lhs).(*ast.Ident)
+		if !isIdent || id.Name == "_" {
+			if rhs != nil {
+				ff.killFreshExpr(st, rhs)
+			}
+			continue
+		}
+		obj := ff.p.ObjectOf(id)
+		if obj == nil {
+			continue
+		}
+		ff.define(st, obj, rhs)
+	}
+}
+
+func (ff *funcFlow) applyDecl(st *flowState, ds *ast.DeclStmt) {
+	gd, ok := ds.Decl.(*ast.GenDecl)
+	if !ok {
+		return
+	}
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		for i, name := range vs.Names {
+			obj := ff.p.ObjectOf(name)
+			if obj == nil || name.Name == "_" {
+				continue
+			}
+			var rhs ast.Expr
+			if len(vs.Values) == len(vs.Names) {
+				rhs = unparen(vs.Values[i])
+			}
+			ff.define(st, obj, rhs)
+		}
+	}
+}
+
+// define records the effect of "obj = rhs" on freshness and publication.
+func (ff *funcFlow) define(st *flowState, obj types.Object, rhs ast.Expr) {
+	if rhs != nil && isAllocExpr(ff.p, rhs) {
+		st.fresh[obj] = true
+		delete(st.pub, obj)
+		return
+	}
+	if src, ok := rhs.(*ast.Ident); ok {
+		if sobj := ff.p.ObjectOf(src); sobj != nil {
+			if st.fresh[sobj] {
+				st.fresh[obj] = true
+			} else {
+				delete(st.fresh, obj)
+			}
+			if st.pub[sobj] {
+				st.pub[obj] = true
+			} else {
+				delete(st.pub, obj)
+			}
+			return
+		}
+	}
+	delete(st.fresh, obj)
+	delete(st.pub, obj)
+}
+
+// isAllocExpr reports whether e provably yields a brand-new, unshared
+// value: &T{...}, T{...}, new(T), or make(...).
+func isAllocExpr(p *Pass, e ast.Expr) bool {
+	switch x := unparen(e).(type) {
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			_, ok := unparen(x.X).(*ast.CompositeLit)
+			return ok
+		}
+	case *ast.CompositeLit:
+		return true
+	case *ast.CallExpr:
+		if id, ok := x.Fun.(*ast.Ident); ok {
+			if b, ok := p.ObjectOf(id).(*types.Builtin); ok {
+				return b.Name() == "new" || b.Name() == "make"
+			}
+		}
+	}
+	return false
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		pe, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = pe.X
+	}
+}
+
+// flowFunc is one analyzable function body: a declaration or a literal.
+// Function literals get their own flow — the enclosing function's walk
+// never descends into them.
+type flowFunc struct {
+	decl *ast.FuncDecl // nil for literals
+	lit  *ast.FuncLit  // nil for declarations
+	body *ast.BlockStmt
+	file *ast.File
+}
+
+// flowFuncs enumerates every function body in the package in file order.
+func (p *Pass) flowFuncs() []flowFunc {
+	var out []flowFunc
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncDecl:
+				if x.Body != nil {
+					out = append(out, flowFunc{decl: x, body: x.Body, file: f})
+				}
+			case *ast.FuncLit:
+				out = append(out, flowFunc{lit: x, body: x.Body, file: f})
+			}
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,295 @@
+package analysis
+
+// lockguard enforces the repo's annotated locking discipline. A struct
+// field carrying
+//
+//	//itm:guardedby <mu>
+//
+// (where <mu> names a sibling sync.Mutex or sync.RWMutex field) may only
+// be read while that mutex is held — shared or exclusive — and only be
+// written while it is held exclusively. The dataflow layer supplies the
+// lock-set at every program point, so straight-line Lock/defer Unlock,
+// early-unlock branches, and multi-mutex paths ("f.mem.mu") all resolve
+// correctly. Two escapes keep constructors and helpers honest without
+// suppressions:
+//
+//   - a provably fresh value (allocated here, not yet shared) may be
+//     filled lock-free — nobody else can see it yet;
+//   - a function annotated //itm:locked <mu> is checked as if the
+//     receiver's mutex were already held: its callers own the lock.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+var LockGuard = &Analyzer{
+	Name: "lockguard",
+	Doc: "enforce //itm:guardedby field annotations: guarded fields are " +
+		"accessed only under their mutex (exclusively, for writes)",
+	Run: runLockGuard,
+}
+
+const (
+	guardedByPrefix = "//itm:guardedby"
+	lockedPrefix    = "//itm:locked"
+)
+
+// guardSpec is one annotated field: the sibling mutex's name and the
+// owning struct's display name.
+type guardSpec struct {
+	mu    string
+	owner string
+	field string
+}
+
+func runLockGuard(p *Pass) {
+	guards := p.collectGuards()
+	for _, fn := range p.flowFuncs() {
+		var init map[pathKey]lockMode
+		if fn.decl != nil {
+			init = p.lockedAnnotations(fn.decl)
+		}
+		if len(guards) == 0 && init == nil {
+			continue
+		}
+		ff := newFuncFlow(p, fn.body, init)
+		ff.walk(func(n ast.Node, st *flowState) {
+			p.checkGuardedNode(guards, n, st)
+		})
+	}
+}
+
+// collectGuards parses every //itm:guardedby directive in the package,
+// reporting malformed ones, and returns guarded-field objects → spec.
+func (p *Pass) collectGuards() map[types.Object]guardSpec {
+	guards := make(map[types.Object]guardSpec)
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, fld := range st.Fields.List {
+				arg, pos, ok := fieldDirective(fld, guardedByPrefix)
+				if !ok {
+					continue
+				}
+				if len(strings.Fields(arg)) != 1 {
+					p.Reportf(pos, "malformed %s: want \"%s <mutexField>\"", guardedByPrefix, guardedByPrefix)
+					continue
+				}
+				mu := strings.TrimSpace(arg)
+				if len(fld.Names) == 0 {
+					p.Reportf(pos, "%s cannot annotate an embedded field", guardedByPrefix)
+					continue
+				}
+				if !p.structHasMutex(st, mu) {
+					p.Reportf(pos, "%s names %q, which is not a sync.Mutex/RWMutex field of %s", guardedByPrefix, mu, ts.Name.Name)
+					continue
+				}
+				for _, name := range fld.Names {
+					if obj := p.ObjectOf(name); obj != nil {
+						guards[obj] = guardSpec{mu: mu, owner: ts.Name.Name, field: name.Name}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// fieldDirective scans a struct field's doc and trailing comments for a
+// directive with the given prefix, returning its argument text.
+func fieldDirective(fld *ast.Field, prefix string) (arg string, pos token.Pos, ok bool) {
+	for _, cg := range []*ast.CommentGroup{fld.Doc, fld.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if rest, found := strings.CutPrefix(c.Text, prefix); found {
+				return rest, c.Pos(), true
+			}
+		}
+	}
+	return "", token.NoPos, false
+}
+
+// structHasMutex reports whether st has a field named mu whose type is
+// sync.Mutex or sync.RWMutex (or a pointer to one).
+func (p *Pass) structHasMutex(st *ast.StructType, mu string) bool {
+	for _, fld := range st.Fields.List {
+		for _, name := range fld.Names {
+			if name.Name == mu {
+				return isMutexType(p.TypeOf(fld.Type))
+			}
+		}
+	}
+	return false
+}
+
+func isMutexType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// lockedAnnotations parses //itm:locked directives on a method: each one
+// seeds the entry lock-set with the receiver's named mutex, held
+// exclusively, because the contract is "caller holds the lock".
+// Malformed directives are reported.
+func (p *Pass) lockedAnnotations(fn *ast.FuncDecl) map[pathKey]lockMode {
+	if fn.Doc == nil {
+		return nil
+	}
+	var out map[pathKey]lockMode
+	for _, c := range fn.Doc.List {
+		rest, found := strings.CutPrefix(c.Text, lockedPrefix)
+		if !found {
+			continue
+		}
+		args := strings.Fields(rest)
+		if len(args) != 1 {
+			p.Reportf(c.Pos(), "malformed %s: want \"%s <mutexField>\"", lockedPrefix, lockedPrefix)
+			continue
+		}
+		if fn.Recv == nil || len(fn.Recv.List) == 0 || len(fn.Recv.List[0].Names) == 0 {
+			p.Reportf(c.Pos(), "%s requires a named method receiver", lockedPrefix)
+			continue
+		}
+		recv := fn.Recv.List[0].Names[0]
+		obj := p.ObjectOf(recv)
+		if obj == nil {
+			continue
+		}
+		if !receiverHasMutex(obj, args[0]) {
+			p.Reportf(c.Pos(), "%s names %q, which is not a sync.Mutex/RWMutex field of the receiver", lockedPrefix, args[0])
+			continue
+		}
+		if out == nil {
+			out = make(map[pathKey]lockMode)
+		}
+		out[pathKey{root: obj, path: recv.Name + "." + args[0]}] = lockExclusive
+	}
+	return out
+}
+
+func receiverHasMutex(recv types.Object, mu string) bool {
+	t := recv.Type()
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if f := st.Field(i); f.Name() == mu {
+			return isMutexType(f.Type())
+		}
+	}
+	return false
+}
+
+// checkGuardedNode inspects one CFG node under its entry state: every
+// selector resolving to a guarded field must have the matching mutex in
+// the lock-set (exclusive when the selector sits in write position),
+// unless the base value is still fresh.
+func (p *Pass) checkGuardedNode(guards map[types.Object]guardSpec, n ast.Node, st *flowState) {
+	writes := make(map[*ast.SelectorExpr]bool)
+	collectWriteTargets(n, writes)
+	shallowWalk(n, func(m ast.Node) bool {
+		sel, ok := m.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj := p.ObjectOf(sel.Sel)
+		g, guarded := guards[obj]
+		if !guarded {
+			return true
+		}
+		access := "read"
+		if writes[sel] {
+			access = "written"
+		}
+		base, renderable := p.pathOf(sel.X)
+		if !renderable {
+			p.Reportf(sel.Pos(), "%s.%s (guarded by %s) is %s through an expression the lock checker cannot track",
+				g.owner, g.field, g.mu, access)
+			return true
+		}
+		if st.fresh[base.root] {
+			return true
+		}
+		need := pathKey{root: base.root, path: base.path + "." + g.mu}
+		have := st.locks[need]
+		render := base.path + "." + sel.Sel.Name
+		switch {
+		case have == 0:
+			p.Reportf(sel.Pos(), "%s is %s without holding %s (%s.%s is //itm:guardedby %s)",
+				render, access, need.path, g.owner, g.field, g.mu)
+		case have == lockShared && writes[sel]:
+			p.Reportf(sel.Pos(), "%s is written while %s is only read-locked; writes need the exclusive Lock",
+				render, need.path)
+		}
+		return true
+	})
+}
+
+// collectWriteTargets marks every selector in write position within node
+// n: assignment left-hand sides (including through index and deref),
+// IncDec operands, address-of operands, and the map argument of delete.
+func collectWriteTargets(n ast.Node, writes map[*ast.SelectorExpr]bool) {
+	markAll := func(e ast.Expr) {
+		if e == nil {
+			return
+		}
+		ast.Inspect(e, func(m ast.Node) bool {
+			if sel, ok := m.(*ast.SelectorExpr); ok {
+				writes[sel] = true
+			}
+			if _, ok := m.(*ast.FuncLit); ok {
+				return false
+			}
+			return true
+		})
+	}
+	shallowWalk(n, func(m ast.Node) bool {
+		switch x := m.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				markAll(lhs)
+			}
+		case *ast.IncDecStmt:
+			markAll(x.X)
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				markAll(x.X)
+			}
+		case *ast.CallExpr:
+			if id, ok := x.Fun.(*ast.Ident); ok && id.Name == "delete" && len(x.Args) > 0 {
+				markAll(x.Args[0])
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,141 @@
+package analysis
+
+// oncefill protects the single-flight pattern: a struct's fields that are
+// filled inside a sync.Once.Do closure (the response cache's body/ctype/
+// err) are written exactly once, and every reader relies on Once's
+// happens-before edge. A write to such a field anywhere outside a Do
+// closure bypasses that synchronization, so it is flagged. Constructors
+// remain free to initialize fields of a value they just allocated — the
+// freshness escape covers writes to provably unshared values.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+var OnceFill = &Analyzer{
+	Name: "oncefill",
+	Doc: "flag writes outside sync.Once.Do to fields that are filled " +
+		"inside a Do closure (single-flight results are write-once)",
+	Run: runOnceFill,
+}
+
+func runOnceFill(p *Pass) {
+	fills, sanctioned := p.collectOnceFills()
+	if len(fills) == 0 {
+		return
+	}
+	for _, fn := range p.flowFuncs() {
+		if fn.lit != nil && insideSanctioned(sanctioned, fn.lit.Pos()) {
+			continue
+		}
+		ff := newFuncFlow(p, fn.body, nil)
+		ff.walk(func(n ast.Node, st *flowState) {
+			writes := make(map[*ast.SelectorExpr]bool)
+			collectWriteTargets(n, writes)
+			shallowWalk(n, func(m ast.Node) bool {
+				sel, ok := m.(*ast.SelectorExpr)
+				if !ok || !writes[sel] {
+					return true
+				}
+				obj := p.ObjectOf(sel.Sel)
+				fillPos, isFill := fills[obj]
+				if !isFill {
+					return true
+				}
+				if base, ok := p.pathOf(sel.X); ok && st.fresh[base.root] {
+					return true
+				}
+				at := p.Pkg.Fset.Position(fillPos)
+				p.Reportf(sel.Pos(), "%s is filled inside sync.Once.Do (%s:%d) and may not be written outside it",
+					sel.Sel.Name, shortBase(at.Filename), at.Line)
+				return true
+			})
+		})
+	}
+}
+
+// collectOnceFills finds every once.Do(func(){...}) call in the package
+// (sync.Once receivers only) and records which struct fields the closure
+// assigns: those are the write-once fields. The closures themselves (and
+// anything nested in them) are sanctioned regions.
+func (p *Pass) collectOnceFills() (map[types.Object]token.Pos, []*ast.FuncLit) {
+	fills := make(map[types.Object]token.Pos)
+	var sanctioned []*ast.FuncLit
+	p.inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := p.ObjectOf(sel.Sel).(*types.Func)
+		if !ok || fn.Name() != "Do" || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+			return true
+		}
+		lit, ok := unparen(call.Args[0]).(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		sanctioned = append(sanctioned, lit)
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			writes := make(map[*ast.SelectorExpr]bool)
+			switch x := m.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range x.Lhs {
+					markSelectors(lhs, writes)
+				}
+			case *ast.IncDecStmt:
+				markSelectors(x.X, writes)
+			}
+			for wsel := range writes {
+				if obj := p.ObjectOf(wsel.Sel); obj != nil && isStructField(obj) {
+					if _, seen := fills[obj]; !seen || lit.Pos() < fills[obj] {
+						fills[obj] = lit.Pos()
+					}
+				}
+			}
+			return true
+		})
+		return true
+	})
+	return fills, sanctioned
+}
+
+// markSelectors records every selector inside a write target expression.
+func markSelectors(e ast.Expr, writes map[*ast.SelectorExpr]bool) {
+	ast.Inspect(e, func(m ast.Node) bool {
+		if sel, ok := m.(*ast.SelectorExpr); ok {
+			writes[sel] = true
+		}
+		_, isLit := m.(*ast.FuncLit)
+		return !isLit
+	})
+}
+
+func isStructField(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	return ok && v.IsField()
+}
+
+func insideSanctioned(sanctioned []*ast.FuncLit, pos token.Pos) bool {
+	for _, lit := range sanctioned {
+		if pos >= lit.Pos() && pos < lit.End() {
+			return true
+		}
+	}
+	return false
+}
+
+// shortBase trims a path to its final element for compact diagnostics.
+func shortBase(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' || path[i] == '\\' {
+			return path[i+1:]
+		}
+	}
+	return path
+}

@@ -1,0 +1,81 @@
+package analysis
+
+// pubfreeze enforces publish-then-freeze: the serving stack shares state
+// with concurrent readers by storing a pointer into an atomic.Pointer
+// (epoch lists, the obs default set, cache snapshots), and from that
+// moment the pointed-to value is immutable — readers hold it with no
+// lock. Any write through a variable after it (or a pointer copy of it)
+// reaches a .Store/.Swap/.CompareAndSwap call on an atomic.Pointer is a
+// data race waiting for load, so it is flagged. Rebinding the variable
+// itself (x = &T{...}) is fine: that forgets the published value rather
+// than mutating it.
+
+import (
+	"go/ast"
+)
+
+var PubFreeze = &Analyzer{
+	Name: "pubfreeze",
+	Doc: "flag mutations of values after they were published through an " +
+		"atomic.Pointer Store/Swap — published snapshots are immutable",
+	Run: runPubFreeze,
+}
+
+func runPubFreeze(p *Pass) {
+	for _, fn := range p.flowFuncs() {
+		ff := newFuncFlow(p, fn.body, nil)
+		ff.walk(func(n ast.Node, st *flowState) {
+			if len(st.pub) == 0 {
+				return
+			}
+			shallowWalk(n, func(m ast.Node) bool {
+				switch x := m.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range x.Lhs {
+						p.checkPubWrite(st, lhs)
+					}
+				case *ast.IncDecStmt:
+					p.checkPubWrite(st, x.X)
+				case *ast.CallExpr:
+					if id, ok := x.Fun.(*ast.Ident); ok && id.Name == "delete" && len(x.Args) > 0 {
+						p.checkPubWrite(st, x.Args[0])
+					}
+				}
+				return true
+			})
+		})
+	}
+}
+
+// checkPubWrite flags lhs when it writes *through* a published variable:
+// x.f = v, x.m[k] = v, *x = v, delete(x.m, k), x.n++. A plain rebind
+// (x = v) does not mutate the published allocation and passes.
+func (p *Pass) checkPubWrite(st *flowState, lhs ast.Expr) {
+	e := unparen(lhs)
+	through := false
+loop:
+	for {
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			e = unparen(x.X)
+			through = true
+		case *ast.IndexExpr:
+			e = unparen(x.X)
+			through = true
+		case *ast.StarExpr:
+			e = unparen(x.X)
+			through = true
+		default:
+			break loop
+		}
+	}
+	id, ok := e.(*ast.Ident)
+	if !ok || !through {
+		return
+	}
+	obj := p.ObjectOf(id)
+	if obj == nil || !st.pub[obj] {
+		return
+	}
+	p.Reportf(lhs.Pos(), "%s was published via atomic.Pointer and is frozen; this write races with lock-free readers", id.Name)
+}

@@ -1,0 +1,76 @@
+// Package go122 proves the loader, CFG, and dataflow layer handle modern
+// syntax: range-over-int, generic functions and types, and method values
+// capturing their receivers. The one guarded access inside the
+// range-over-int body must still be caught — the CFG treats the new
+// range form like any other loop head.
+package go122
+
+import "sync"
+
+// Box is a generic container with a guarded field.
+type Box[T any] struct {
+	mu sync.Mutex
+	//itm:guardedby mu
+	val T
+}
+
+// Get locks around the generic field: clean.
+func (b *Box[T]) Get() T {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.val
+}
+
+// Tally has a guarded counter poked from a range-over-int loop.
+type Tally struct {
+	mu sync.Mutex
+	//itm:guardedby mu
+	n int
+}
+
+// LockedSpin holds the lock across the range-over-int body: clean.
+func (t *Tally) LockedSpin(rounds int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for range rounds {
+		t.n++
+	}
+}
+
+// RacySpin writes the guarded counter inside a range-over-int body with
+// no lock: the CFG must reach into the new loop form.
+func (t *Tally) RacySpin(rounds int) {
+	for i := range rounds {
+		t.n += i
+	}
+}
+
+// clamp is a plain generic function: the loader must instantiate it
+// without diagnostics.
+func clamp[T int | int64 | float64](v, lo, hi T) T {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// MethodValue binds a method value (capturing its receiver) and calls it
+// through the binding — exercising SelectorExpr-as-value in the flow.
+func MethodValue(t *Tally) int {
+	get := t.locked
+	total := 0
+	for range 3 {
+		total += get()
+	}
+	return clamp(total, 0, 100)
+}
+
+// locked reads under the lock: clean, even when called via a binding.
+func (t *Tally) locked() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.n
+}

@@ -1,0 +1,118 @@
+// Package lockguard exercises the lockguard analyzer: //itm:guardedby
+// fields must be accessed under their mutex (exclusively for writes),
+// with escapes for provably fresh values and //itm:locked helpers, and
+// reports for malformed annotations.
+package lockguard
+
+import "sync"
+
+// Counter pairs a mutex with a guarded map.
+type Counter struct {
+	mu sync.Mutex
+	//itm:guardedby mu
+	n map[string]int
+}
+
+// NewCounter fills the guarded field lock-free: the value is fresh.
+func NewCounter() *Counter {
+	c := &Counter{n: map[string]int{}}
+	c.n["boot"] = 1
+	return c
+}
+
+// Add holds the lock across the write: clean.
+func (c *Counter) Add(k string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n[k]++
+}
+
+// Racy writes without any lock.
+func (c *Counter) Racy(k string) {
+	c.n[k]++
+}
+
+// RacyRead reads without any lock.
+func (c *Counter) RacyRead(k string) int {
+	return c.n[k]
+}
+
+// EarlyUnlock releases before the access: the lock-set must notice.
+func (c *Counter) EarlyUnlock(k string) int {
+	c.mu.Lock()
+	c.mu.Unlock()
+	return c.n[k]
+}
+
+// OneBranch locks on only one path; the merge loses the lock.
+func (c *Counter) OneBranch(k string, lock bool) {
+	if lock {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+	}
+	c.n[k] = 1
+}
+
+// Suppressed carries the repo's escape hatch on a deliberate violation.
+func (c *Counter) Suppressed(k string) int {
+	//itmlint:allow lockguard fixture: deliberate unlocked read
+	return c.n[k]
+}
+
+// Gauge is guarded by an RWMutex: reads need either mode, writes need
+// the exclusive Lock.
+type Gauge struct {
+	mu sync.RWMutex
+	//itm:guardedby mu
+	v float64
+}
+
+// Get reads under the shared lock: clean.
+func (g *Gauge) Get() float64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.v
+}
+
+// BumpShared writes under only the read lock.
+func (g *Gauge) BumpShared() {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	g.v++
+}
+
+// setLocked is checked as if g.mu were already held: callers own it.
+//
+//itm:locked mu
+func (g *Gauge) setLocked(v float64) {
+	g.v = v
+}
+
+// Set takes the exclusive lock and delegates to the annotated helper.
+func (g *Gauge) Set(v float64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.setLocked(v)
+}
+
+// badLocked names a mutex the receiver does not have.
+//
+//itm:locked lk
+func (g *Gauge) badLocked(v float64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.v = v
+}
+
+// Orphan's directive names a field that is not a mutex.
+type Orphan struct {
+	//itm:guardedby lock
+	x int
+}
+
+// Twoargs's directive is malformed.
+type Twoargs struct {
+	mu sync.Mutex
+	//itm:guardedby mu extra
+	y int
+}

@@ -1,0 +1,47 @@
+// Package oncefill exercises the oncefill analyzer: fields filled inside
+// a sync.Once.Do closure are write-once, so writes anywhere else are
+// flagged — except on a freshly allocated, not-yet-shared value.
+package oncefill
+
+import "sync"
+
+type entry struct {
+	once sync.Once
+	body []byte
+	err  error
+	hits int
+}
+
+// fill computes the write-once result; the closure is the sanctioned
+// region for body and err.
+func (e *entry) fill(compute func() ([]byte, error)) {
+	e.once.Do(func() {
+		e.body, e.err = compute()
+	})
+}
+
+// Hits is unrelated bookkeeping: hits is never filled in a Do closure,
+// so writing it elsewhere is fine.
+func (e *entry) Hits() int {
+	e.hits++
+	return e.hits
+}
+
+// Clobber rewrites the single-flight result outside the Do closure.
+func (e *entry) Clobber() {
+	e.body = nil
+	e.err = nil
+}
+
+// newEntry pre-fills a fresh value: nobody can race with it yet.
+func newEntry(body []byte) *entry {
+	e := &entry{}
+	e.body = body
+	return e
+}
+
+// Suppressed carries the escape hatch on a deliberate violation.
+func (e *entry) Suppressed() {
+	//itmlint:allow oncefill fixture: test helper resets the entry
+	e.body = nil
+}

@@ -1,0 +1,60 @@
+// Package pubfreeze exercises the pubfreeze analyzer: once a pointer is
+// stored into an atomic.Pointer it is shared with lock-free readers, so
+// any later write through it (or a copy of it) is flagged; rebinding the
+// variable and writes before the store pass.
+package pubfreeze
+
+import "sync/atomic"
+
+type snapshot struct {
+	counts map[string]int
+	total  int
+}
+
+type holder struct {
+	cur atomic.Pointer[snapshot]
+}
+
+// PublishThenMutate keeps writing through the pointer after Store.
+func (h *holder) PublishThenMutate() {
+	s := &snapshot{counts: map[string]int{}}
+	s.counts["pre"] = 1
+	h.cur.Store(s)
+	s.total = 2
+	s.counts["post"] = 3
+	delete(s.counts, "pre")
+	s.total++
+}
+
+// BuildThenPublish finishes every write before the store; the rebind
+// afterwards forgets the published value, so the new object is free.
+func (h *holder) BuildThenPublish() {
+	s := &snapshot{counts: map[string]int{}}
+	s.total = 1
+	h.cur.Store(s)
+	s = &snapshot{counts: map[string]int{}}
+	s.total = 2
+}
+
+// Alias publishes via a copy and mutates via the original.
+func (h *holder) Alias() {
+	s := &snapshot{counts: map[string]int{}}
+	t := s
+	h.cur.Store(t)
+	s.total = 1
+}
+
+// Swapped treats Swap's argument as published too.
+func (h *holder) Swapped() {
+	s := &snapshot{}
+	h.cur.Swap(s)
+	s.total = 1
+}
+
+// Suppressed carries the escape hatch on a deliberate violation.
+func (h *holder) Suppressed() {
+	s := &snapshot{}
+	h.cur.Store(s)
+	//itmlint:allow pubfreeze fixture: single-writer warm-up phase
+	s.total = 1
+}

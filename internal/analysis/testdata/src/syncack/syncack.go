@@ -1,0 +1,65 @@
+// Package syncack exercises the syncack analyzer (run with the package
+// path overridden to land in internal/mapstore/wal): every path from a
+// journal write to a nil-error return must pass Sync first. The journal
+// shape is structural — anything with Write([]byte) (int, error) and
+// Sync() error.
+package syncack
+
+type journal struct{ n int }
+
+func (j *journal) Write(p []byte) (int, error) { j.n += len(p); return len(p), nil }
+func (j *journal) Sync() error                 { return nil }
+
+// AckWithoutSync acks a write that only reached the page cache.
+func AckWithoutSync(j *journal, b []byte) error {
+	if _, err := j.Write(b); err != nil {
+		return err
+	}
+	return nil
+}
+
+// AckAfterSync is the contract done right.
+func AckAfterSync(j *journal, b []byte) error {
+	if _, err := j.Write(b); err != nil {
+		return err
+	}
+	if err := j.Sync(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// ErrPathSkipsSync may skip the sync on error returns: the caller is
+// told the record is not durable.
+func ErrPathSkipsSync(j *journal, b []byte) error {
+	if _, err := j.Write(b); err != nil {
+		return err
+	}
+	return j.Sync()
+}
+
+// BranchLeak syncs on one path but acks early on the other.
+func BranchLeak(j *journal, b []byte, fast bool) error {
+	if _, err := j.Write(b); err != nil {
+		return err
+	}
+	if fast {
+		return nil
+	}
+	return j.Sync()
+}
+
+// NotAnAck returns no error, so there is no durability promise to break.
+func NotAnAck(j *journal, b []byte) int {
+	n, _ := j.Write(b)
+	return n
+}
+
+// Suppressed carries the escape hatch on a deliberate violation.
+func Suppressed(j *journal, b []byte) error {
+	if _, err := j.Write(b); err != nil {
+		return err
+	}
+	//itmlint:allow syncack fixture: recovery path replays the journal anyway
+	return nil
+}

@@ -62,7 +62,8 @@ type PublicResolver struct {
 	PoPs  []*PoP
 
 	homeMu sync.RWMutex
-	home   map[topology.PrefixID]int // prefix -> PoP ID
+	//itm:guardedby homeMu
+	home map[topology.PrefixID]int // prefix -> PoP ID
 }
 
 // NewPublicResolver places PoPs at every region hub and in every country

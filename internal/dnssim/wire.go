@@ -176,9 +176,11 @@ func (fe *WireFrontend) ServeUDP(conn net.PacketConn, clock func() simtime.Time)
 // WireClient issues wire-format queries to a UDP resolver endpoint —
 // what a real cache-probing tool does.
 type WireClient struct {
-	mu   sync.Mutex
+	mu sync.Mutex
+	//itm:guardedby mu
 	conn net.Conn
-	id   uint16
+	//itm:guardedby mu
+	id uint16
 
 	// Timeout bounds each round trip; a dropped datagram surfaces as
 	// faults.ErrTimeout instead of blocking the exchange forever.
@@ -195,7 +197,10 @@ func DialWireClient(addr string) (*WireClient, error) {
 	return &WireClient{conn: conn}, nil
 }
 
-// Close releases the client socket.
+// Close releases the client socket. It deliberately skips c.mu: Close
+// must be able to interrupt a roundTrip blocked in conn.Read (which holds
+// the lock), and net.Conn's Close is specified safe for concurrent use.
+//itmlint:allow lockguard Close interrupts a blocked read; net.Conn.Close is concurrency-safe
 func (c *WireClient) Close() error { return c.conn.Close() }
 
 // rcodeError maps response codes onto the typed transient errors so wire

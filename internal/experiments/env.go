@@ -28,17 +28,27 @@ import (
 type Env struct {
 	W *world.World
 
-	mu        sync.Mutex
-	mx        *traffic.Matrix
-	est       *apnic.Estimates
+	mu sync.Mutex
+	//itm:guardedby mu
+	mx *traffic.Matrix
+	//itm:guardedby mu
+	est *apnic.Estimates
+	//itm:guardedby mu
 	discovery *cacheprobe.Discovery
-	hitRates  *cacheprobe.HitRates
-	crawl     *rootlogs.Crawl
-	scan      *tlsscan.Scan
+	//itm:guardedby mu
+	hitRates *cacheprobe.HitRates
+	//itm:guardedby mu
+	crawl *rootlogs.Crawl
+	//itm:guardedby mu
+	scan *tlsscan.Scan
+	//itm:guardedby mu
 	collector *bgp.Collector
-	obsLinks  map[topology.LinkKey]bool
-	observed  *topology.Topology
-	trafMap   *core.TrafficMap
+	//itm:guardedby mu
+	obsLinks map[topology.LinkKey]bool
+	//itm:guardedby mu
+	observed *topology.Topology
+	//itm:guardedby mu
+	trafMap *core.TrafficMap
 
 	// ProbeDomains caps the domain list for discovery sweeps.
 	ProbeDomains int
@@ -199,6 +209,26 @@ func (e *Env) Observed() *topology.Topology {
 		e.observed = e.W.Top.SubgraphWithLinks(links)
 	}
 	return e.observed
+}
+
+// shareInvariants copies the time-invariant campaign artifacts (TLS scan,
+// hit rates, collector view, observed topology) from base, computing them
+// there first if needed. Later-day epoch environments call this instead of
+// re-running Internet-wide sweeps; the artifacts are immutable once built,
+// so sharing the pointers is safe.
+func (e *Env) shareInvariants(base *Env) {
+	scan := base.Scan()
+	hr := base.HitRates()
+	col := base.Collector()
+	links := base.ObservedLinks()
+	obs := base.Observed()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.scan = scan
+	e.hitRates = hr
+	e.collector = col
+	e.obsLinks = links
+	e.observed = obs
 }
 
 // Map returns the fully assembled traffic map.

@@ -26,21 +26,12 @@ func EpochEnvs(w *world.World, days, workers int) []*Env {
 	if days == 1 {
 		return envs
 	}
-	scan := base.Scan()
-	hr := base.HitRates()
-	col := base.Collector()
-	links := base.ObservedLinks()
-	obs := base.Observed()
 	for d := 1; d < days; d++ {
 		e := NewEnvFromWorld(w)
 		e.MatrixWorkers = workers
 		e.DiscoveryStart = simtime.Time(d) * simtime.Day
 		e.CrawlDayIndex = d
-		e.scan = scan
-		e.hitRates = hr
-		e.collector = col
-		e.obsLinks = links
-		e.observed = obs
+		e.shareInvariants(base)
 		envs[d] = e
 	}
 	return envs

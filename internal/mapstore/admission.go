@@ -31,10 +31,14 @@ type Admission struct {
 	maxQueue    int
 	retryAfter  string // prebaked header value, seconds
 
-	mu       sync.Mutex
+	mu sync.Mutex
+	//itm:guardedby mu
 	inFlight int
-	queue    [2][]*waiter // [priority high, low], FIFO each
-	queued   int          // live (non-abandoned) waiters across both lanes
+	//itm:guardedby mu
+	queue [2][]*waiter // [priority high, low], FIFO each
+	//itm:guardedby mu
+	queued int // live (non-abandoned) waiters across both lanes
+	//itm:guardedby mu
 	draining bool
 }
 

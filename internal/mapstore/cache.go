@@ -46,7 +46,8 @@ type cacheEntry struct {
 
 // responseCache is a keyed set of single-flight response entries.
 type responseCache struct {
-	mu      sync.Mutex
+	mu sync.Mutex
+	//itm:guardedby mu
 	entries map[string]*cacheEntry
 }
 

@@ -112,7 +112,8 @@ type Store struct {
 	cur atomic.Pointer[epochList]
 
 	// wal, when attached, journals every epoch's canonical encoding before
-	// it is published (see walstore.go). Guarded by mu.
+	// it is published (see walstore.go).
+	//itm:guardedby mu
 	wal *wal.WAL
 }
 

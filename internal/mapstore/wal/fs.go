@@ -81,7 +81,8 @@ func (OSFS) SyncDir(dir string) error {
 // cache / durable-storage split: Write lands in the file's data, Sync marks
 // it durable, and DurableImage returns what a crash would preserve.
 type MemFS struct {
-	mu    sync.Mutex
+	mu sync.Mutex
+	//itm:guardedby mu
 	files map[string]*memFile
 }
 
@@ -105,6 +106,8 @@ func (m *MemFS) ReadFile(name string) ([]byte, error) {
 	return append([]byte(nil), f.data...), nil
 }
 
+// file returns (creating on demand) the named file's record.
+//itm:locked mu
 func (m *MemFS) file(name string, truncate bool) *memFile {
 	f := m.files[name]
 	if f == nil {
@@ -239,10 +242,14 @@ type FaultFS struct {
 	mem  *MemFS
 	plan FaultPlan
 
-	mu      sync.Mutex
+	mu sync.Mutex
+	//itm:guardedby mu
 	written int64
-	writes  int
-	syncs   int
+	//itm:guardedby mu
+	writes int
+	//itm:guardedby mu
+	syncs int
+	//itm:guardedby mu
 	crashed bool
 }
 
@@ -264,11 +271,11 @@ func (f *FaultFS) Crashed() bool {
 func (f *FaultFS) CrashImage() *MemFS {
 	f.mem.mu.Lock()
 	defer f.mem.mu.Unlock()
-	img := NewMemFS()
+	files := make(map[string]*memFile, len(f.mem.files))
 	for name, file := range f.mem.files {
-		img.files[name] = &memFile{data: append([]byte(nil), file.data...), durable: len(file.data)}
+		files[name] = &memFile{data: append([]byte(nil), file.data...), durable: len(file.data)}
 	}
-	return img
+	return &MemFS{files: files}
 }
 
 func (f *FaultFS) check() error {

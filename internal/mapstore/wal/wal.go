@@ -185,13 +185,19 @@ type WAL struct {
 	journalPath  string
 	compactEvery int
 
-	mu             sync.Mutex
-	journal        File
-	journalSize    int64 // bytes known good (header + whole records)
+	mu sync.Mutex
+	//itm:guardedby mu
+	journal File
+	//itm:guardedby mu
+	journalSize int64 // bytes known good (header + whole records)
+	//itm:guardedby mu
 	journalRecords int
-	records        []Record // every live epoch, for compaction
-	nextID         int
-	failed         error
+	//itm:guardedby mu
+	records []Record // every live epoch, for compaction
+	//itm:guardedby mu
+	nextID int
+	//itm:guardedby mu
+	failed error
 }
 
 func path(dir, name string) string {
@@ -306,7 +312,9 @@ func Open(opts Options) (*WAL, *Recovery, error) {
 }
 
 // openJournal (re)opens the append handle, writing the file header when the
-// journal is empty (or was truncated below a whole header).
+// journal is empty (or was truncated below a whole header). The caller
+// guarantees exclusive access: Open owns the still-unshared WAL.
+//itm:locked mu
 func (w *WAL) openJournal(needHeader bool) error {
 	if needHeader && w.journalSize < int64(headerSize) {
 		// A torn header was truncated to < headerSize; start the file over.
@@ -394,6 +402,7 @@ func (w *WAL) Append(at simtime.Time, payload []byte) error {
 // last whole record and the handle reopened, so the torn bytes the failed
 // write may have landed can never replay. An unrepairable rollback poisons
 // the WAL — better no appends than silent divergence.
+//itm:locked mu
 func (w *WAL) rollback(cause error) error {
 	_ = w.journal.Close()
 	if err := w.fs.Truncate(w.journalPath, w.journalSize); err != nil {
@@ -423,6 +432,7 @@ func (w *WAL) Compact() error {
 	return w.compactLocked()
 }
 
+//itm:locked mu
 func (w *WAL) compactLocked() error {
 	tmp := w.snapPath + ".tmp"
 	f, err := w.fs.Create(tmp)

@@ -42,9 +42,12 @@ func (l Level) String() string {
 // points (stage boundaries, process startup/shutdown), which is the
 // convention throughout this repo.
 type Logger struct {
-	mu  sync.Mutex
-	w   io.Writer
+	mu sync.Mutex
+	//itm:guardedby mu
+	w io.Writer
+	//itm:guardedby mu
 	min Level
+	//itm:guardedby mu
 	reg *Registry
 }
 

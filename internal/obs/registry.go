@@ -137,7 +137,8 @@ type family struct {
 	volatile  bool
 	bounds    []float64 // histograms only
 
-	mu     sync.Mutex
+	mu sync.Mutex
+	//itm:guardedby mu
 	series map[string]*series // by label-value signature
 	bare   atomic.Pointer[series]
 }
@@ -152,7 +153,8 @@ type series struct {
 // Registry holds metric families. The zero value is not usable; call
 // NewRegistry.
 type Registry struct {
-	mu       sync.RWMutex
+	mu sync.RWMutex
+	//itm:guardedby mu
 	families map[string]*family
 }
 

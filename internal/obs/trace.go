@@ -15,8 +15,10 @@ import (
 // time never enters a trace, so exports are byte-identical across runs of
 // the same seeded campaign.
 type Tracer struct {
-	mu     sync.Mutex
+	mu sync.Mutex
+	//itm:guardedby mu
 	traces map[string]*Trace
+	//itm:guardedby mu
 	active *Trace
 	cap    int
 }
@@ -92,8 +94,10 @@ type Trace struct {
 	name string
 	cap  int
 
-	mu      sync.Mutex
-	spans   []*Span
+	mu sync.Mutex
+	//itm:guardedby mu
+	spans []*Span
+	//itm:guardedby mu
 	dropped int
 }
 

@@ -64,7 +64,8 @@ type Model struct {
 
 	// assignMemo caches assignments under memoMu: the matrix build
 	// queries it from many goroutines at once.
-	memoMu     sync.RWMutex
+	memoMu sync.RWMutex
+	//itm:guardedby memoMu
 	assignMemo map[assignKey][]SiteShare
 }
 
