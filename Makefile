@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-selftest test race cover bench bench-all serve-smoke obs-smoke loadgen-smoke crash-smoke experiments experiments-md csv examples clean
+.PHONY: all build vet lint lint-selftest test race cover bench bench-all serve-smoke obs-smoke loadgen-smoke crash-smoke mesh-smoke experiments experiments-md csv examples clean
 
 all: build vet lint lint-selftest test crash-smoke
 
@@ -54,7 +54,7 @@ bench:
 	@{ $(GO) test -run '^$$' -bench . -benchmem -benchtime 8x ./internal/mapstore/ && \
 	   $(GO) test -run '^$$' -bench 'BenchmarkBuildMatrix$$|BenchmarkBuildMatrixSerial$$|BenchmarkComputeAll$$' -benchmem -benchtime 4x . ; } \
 	| tee bench_serve.out
-	$(GO) run ./cmd/itm-bench -campaign -loadgen -overload -o BENCH_serve.json < bench_serve.out
+	$(GO) run ./cmd/itm-bench -campaign -loadgen -overload -mesh -o BENCH_serve.json < bench_serve.out
 	@rm -f bench_serve.out
 
 # The full benchmark suite (every paper artifact + substrate + ablations).
@@ -195,6 +195,41 @@ crash-smoke:
 	kill $$pid; wait $$pid 2>/dev/null || true; \
 	echo "crash-smoke: OK (torn-tail recovery identity + overload shed=$$shed + record-boundary shutdown)"
 	@rm -rf crash-smoke
+
+# Mesh smoke: prove the vantage-fleet mesh is worker-count-invariant at the
+# byte level (itm-mesh -workers 1 vs 4 → identical ITMB v2 sections), then
+# boot a mesh-enabled itm-serve, discover the worst pair from
+# /v1/latency/top, and query both user↔user routes — stable bodies on
+# re-fetch, and a 304 when revalidating with the served ETag.
+mesh-smoke:
+	@rm -rf mesh-smoke && mkdir -p mesh-smoke
+	$(GO) build -o mesh-smoke/itm-mesh ./cmd/itm-mesh
+	$(GO) build -o mesh-smoke/itm-serve ./cmd/itm-serve
+	mesh-smoke/itm-mesh -scale tiny -seed 42 -agents 24 -rounds 2 -profile lossy -workers 1 -o mesh-smoke/mesh-w1.itmb > /dev/null
+	mesh-smoke/itm-mesh -scale tiny -seed 42 -agents 24 -rounds 2 -profile lossy -workers 4 -o mesh-smoke/mesh-w4.itmb > /dev/null
+	@cmp -s mesh-smoke/mesh-w1.itmb mesh-smoke/mesh-w4.itmb || \
+		{ echo "mesh-smoke: mesh sections differ between workers 1 and 4"; exit 1; }
+	@set -e; \
+	trap 'kill $$pid 2>/dev/null || true' EXIT; \
+	mesh-smoke/itm-serve -addr 127.0.0.1:8415 -scale tiny -epochs 2 -mesh-agents 24 -mesh-profile calm 2>mesh-smoke/events.log & \
+	pid=$$!; \
+	for i in $$(seq 1 150); do curl -sf http://127.0.0.1:8415/healthz >/dev/null 2>&1 && break; sleep 0.2; done; \
+	curl -sf 'http://127.0.0.1:8415/v1/latency/top?k=1' > mesh-smoke/top.json; \
+	a=$$(sed -n 's/.*"a": \([0-9]*\).*/\1/p' mesh-smoke/top.json | head -1); \
+	b=$$(sed -n 's/.*"b": \([0-9]*\).*/\1/p' mesh-smoke/top.json | head -1); \
+	test -n "$$a" && test -n "$$b" || { echo "mesh-smoke: no ranked pair in /v1/latency/top"; exit 1; }; \
+	curl -sf -D mesh-smoke/path-h.txt "http://127.0.0.1:8415/v1/path/$$a/$$b" > mesh-smoke/path.json; \
+	grep -q '"path"' mesh-smoke/path.json; \
+	curl -sf "http://127.0.0.1:8415/v1/path/$$a/$$b" > mesh-smoke/path2.json; \
+	cmp -s mesh-smoke/path.json mesh-smoke/path2.json || { echo "mesh-smoke: /v1/path body unstable"; exit 1; }; \
+	curl -sf "http://127.0.0.1:8415/v1/latency/$$a/$$b" > mesh-smoke/lat.json; \
+	grep -q '"mean_rtt_ms"' mesh-smoke/lat.json; \
+	etag=$$(sed -n 's/^[Ee][Tt][Aa][Gg]: \(.*\)/\1/p' mesh-smoke/path-h.txt | tr -d '\r'); \
+	code=$$(curl -s -o /dev/null -w '%{http_code}' -H "If-None-Match: $$etag" "http://127.0.0.1:8415/v1/path/$$a/$$b"); \
+	test "$$code" = 304 || { echo "mesh-smoke: revalidation gave $$code, want 304"; exit 1; }; \
+	kill $$pid; wait $$pid 2>/dev/null || true; \
+	echo "mesh-smoke: OK (worker-invariant mesh bytes + AS$$a<->AS$$b path/latency + 304 revalidation)"
+	@rm -rf mesh-smoke
 
 # Regenerate every table/figure at full scale (exit code reflects PASS/FAIL).
 experiments:

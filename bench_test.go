@@ -285,6 +285,14 @@ func BenchmarkE25EpochStore(b *testing.B) {
 	}
 }
 
+func BenchmarkE26MeshCoverage(b *testing.B) {
+	s := sharedSession(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		requirePass(b, s.RunE26())
+	}
+}
+
 // --- Campaign and substrate benchmarks -------------------------------------
 
 func BenchmarkWorldBuildSmall(b *testing.B) {

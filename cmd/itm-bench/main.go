@@ -17,6 +17,11 @@
 // ("Loadgen/obs", the itm_cache_* counters). Wall-clock QPS/latency never
 // enter the file.
 //
+// With -mesh it builds a mesh-enabled store (vantage fleet campaigns per
+// epoch), replays the user↔user mesh mix against /v1/path + /v1/latency,
+// and records the client ledger ("Mesh/counters") plus the stable mesh and
+// cache families ("Mesh/obs").
+//
 // With -overload it drives the phased admission-control scenario
 // (mapstore.OverloadScenario) against a fresh obs set and records the
 // shed/admit ledger plus the itm_admission_* families ("Overload/obs").
@@ -155,6 +160,40 @@ func loadgenCounters(seed int64) (client, server map[string]float64, err error) 
 	return res.Counters.Flat(), server, nil
 }
 
+// meshCounters builds a mesh-enabled store in-process, replays the mesh
+// request mix against it, and returns the client ledger plus the stable
+// mesh-relevant obs families (itm_mesh_* from the vantage campaign,
+// itm_mapstore_mesh_* from ingestion, itm_cache_* from serving). All pure
+// functions of (world seed, plan seed), worker-count-invariant.
+func meshCounters(seed int64) (client, server map[string]float64, err error) {
+	prev := obs.Swap(obs.NewSet())
+	defer obs.Swap(prev)
+	st := mapstore.NewStore()
+	if err := experiments.BuildEpochStoreMeshInto(st, world.Build(world.Tiny(seed)), 2, 0,
+		experiments.MeshSpec{Agents: 48, Rounds: 2}); err != nil {
+		return nil, nil, err
+	}
+	res, err := loadgen.Run(loadgen.Config{Seed: seed, Requests: 1000, Workers: 4, Mix: "mesh"},
+		loadgen.HandlerDoer{Handler: mapstore.NewHandler(st)})
+	if err != nil {
+		return nil, nil, err
+	}
+	server = map[string]float64{}
+	obs.Metrics().Visit(func(name string, labels []obs.Label, value float64) {
+		if !strings.HasPrefix(name, "itm_mesh_") &&
+			!strings.HasPrefix(name, "itm_mapstore_mesh_") &&
+			!strings.HasPrefix(name, "itm_cache_") {
+			return
+		}
+		key := name
+		for _, l := range labels {
+			key += "{" + l.Key + "=" + l.Value + "}"
+		}
+		server[key] = value
+	})
+	return res.Counters.Flat(), server, nil
+}
+
 // overloadCounters runs the deterministic overload scenario against a
 // fresh obs set: a gated handler holds `capacity` slots and a full queue
 // while `extra` arrivals shed, so every number below is exact.
@@ -187,6 +226,8 @@ func main() {
 	loadgenRun := flag.Bool("loadgen", false, "also replay a seeded itm-loadgen mix and record its deterministic counters")
 	loadgenSeed := flag.Int64("loadgen-seed", 7, "seed for the -loadgen replay (world and plan)")
 	overloadRun := flag.Bool("overload", false, "also run the deterministic admission-control overload scenario")
+	meshRun := flag.Bool("mesh", false, "also build a mesh-enabled store, replay the mesh mix, and record its deterministic counters")
+	meshSeed := flag.Int64("mesh-seed", 9, "seed for the -mesh run (world and plan)")
 	flag.Parse()
 
 	results, err := parse(bufio.NewScanner(os.Stdin))
@@ -213,6 +254,15 @@ func main() {
 	}
 	if *overloadRun {
 		results["Overload/obs"] = overloadCounters()
+	}
+	if *meshRun {
+		client, server, err := meshCounters(*meshSeed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "itm-bench:", err)
+			os.Exit(1)
+		}
+		results["Mesh/counters"] = client
+		results["Mesh/obs"] = server
 	}
 	if len(results) == 0 {
 		fmt.Fprintln(os.Stderr, "itm-bench: no benchmark lines on stdin")

@@ -21,7 +21,13 @@
 //	itm-loadgen [-addr URL | -self] [-seed N] [-n N] [-workers N]
 //	            [-alpha F] [-as-pool N] [-reval F] [-counters out.json]
 //	            [-scale tiny|small|default] [-world-seed N] [-epochs N]
-//	            [-overload]
+//	            [-overload] [-mix map|mesh] [-mesh-agents N]
+//
+// With -mix mesh the replay targets the user↔user routes (/v1/path,
+// /v1/latency, /v1/latency/top), drawing AS pairs zipf-weighted from the
+// store's worst-latency ranking; the target store must have been built
+// with mesh sections. In -self mode -mesh-agents sizes the in-process
+// vantage fleet (it defaults on when the mesh mix is selected).
 package main
 
 import (
@@ -51,9 +57,14 @@ func main() {
 	worldSeed := flag.Int64("world-seed", 42, "-self world seed")
 	epochs := flag.Int("epochs", 3, "-self simulated days (one epoch per day)")
 	overload := flag.Bool("overload", false, "unpaced burst mode: count 503 sheds and assert the overload contract")
+	mix := flag.String("mix", "map", "request mix: map (rankings, AS views, map fetches) or mesh (user↔user path/latency)")
+	meshAgents := flag.Int("mesh-agents", 0, "-self vantage fleet size (0 = 48 when -mix mesh, else no mesh)")
 	flag.Parse()
 
-	if err := run(*addr, *self, *overload, *scale, *worldSeed, *epochs, loadgen.Config{
+	if *meshAgents == 0 && *mix == "mesh" {
+		*meshAgents = 48
+	}
+	if err := run(*addr, *self, *overload, *scale, *worldSeed, *epochs, *meshAgents, loadgen.Config{
 		Base:       *addr,
 		Seed:       *seed,
 		Requests:   *n,
@@ -61,13 +72,14 @@ func main() {
 		Alpha:      *alpha,
 		ASPool:     *asPool,
 		Revalidate: *reval,
+		Mix:        *mix,
 	}, *countersOut); err != nil {
 		fmt.Fprintln(os.Stderr, "itm-loadgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, self, overload bool, scale string, worldSeed int64, epochs int, cfg loadgen.Config, countersOut string) error {
+func run(addr string, self, overload bool, scale string, worldSeed int64, epochs, meshAgents int, cfg loadgen.Config, countersOut string) error {
 	var doer loadgen.Doer
 	switch {
 	case self && addr != "":
@@ -84,8 +96,16 @@ func run(addr string, self, overload bool, scale string, worldSeed int64, epochs
 		default:
 			return fmt.Errorf("unknown scale %q", scale)
 		}
-		fmt.Fprintf(os.Stderr, "itm-loadgen: building %s world (seed %d, %d epochs)\n", scale, worldSeed, epochs)
-		st, err := experiments.BuildEpochStore(world.Build(wc), epochs, 0)
+		fmt.Fprintf(os.Stderr, "itm-loadgen: building %s world (seed %d, %d epochs, mesh agents %d)\n", scale, worldSeed, epochs, meshAgents)
+		var st *mapstore.Store
+		var err error
+		if meshAgents > 0 {
+			st = mapstore.NewStore()
+			err = experiments.BuildEpochStoreMeshInto(st, world.Build(wc), epochs, 0,
+				experiments.MeshSpec{Agents: meshAgents, Rounds: 2})
+		} else {
+			st, err = experiments.BuildEpochStore(world.Build(wc), epochs, 0)
+		}
 		if err != nil {
 			return err
 		}

@@ -10,6 +10,9 @@
 //	GET /v1/as/{asn}?epoch=&k=    per-AS view + activity series
 //	GET /v1/diff/{a}/{b}          epoch-to-epoch diff
 //	GET /v1/link/{a}/{b}?epoch=   ground-truth link load (simulation mode)
+//	GET /v1/path/{a}/{b}?epoch=   user↔user AS path (-mesh-agents > 0)
+//	GET /v1/latency/{a}/{b}?epoch= user↔user RTT summary (-mesh-agents > 0)
+//	GET /v1/latency/top?epoch=&k= worst mesh pairs by mean RTT
 //	GET /metrics                  Prometheus text exposition (0.0.4)
 //	GET /v1/traces                recorded trace names
 //	GET /v1/trace/{campaign}      one campaign's span tree
@@ -27,6 +30,13 @@
 //	itm-serve [-addr :8411] [-scale tiny|small|default] [-seed N]
 //	          [-epochs N] [-workers N] [-snapshot map.json] [-pprof]
 //	          [-wal DIR] [-compact-every N] [-max-inflight N] [-max-queue N]
+//	          [-mesh-agents N] [-mesh-rounds N] [-mesh-profile NAME]
+//
+// With -mesh-agents > 0 each simulated day also runs a vantage-fleet mesh
+// campaign (agents seeded into eyeball ASes probing each other) and the
+// epoch carries user↔user path/latency sections served at /v1/path and
+// /v1/latency. Mesh sections are not WAL-journaled: a recovered store
+// serves the map routes only.
 package main
 
 import (
@@ -62,6 +72,9 @@ type options struct {
 	compactEvery int
 	maxInflight  int
 	maxQueue     int
+	meshAgents   int
+	meshRounds   int
+	meshProfile  string
 }
 
 func main() {
@@ -77,6 +90,9 @@ func main() {
 	flag.IntVar(&o.compactEvery, "compact-every", 0, "fold the WAL journal into a snapshot every N epochs (0 = default, <0 = never)")
 	flag.IntVar(&o.maxInflight, "max-inflight", 0, "admission: concurrent request slots (0 = default)")
 	flag.IntVar(&o.maxQueue, "max-queue", -1, "admission: wait-queue capacity (-1 = default, 0 = shed immediately when slots are full)")
+	flag.IntVar(&o.meshAgents, "mesh-agents", 0, "vantage fleet size for per-epoch mesh campaigns (0 = no mesh)")
+	flag.IntVar(&o.meshRounds, "mesh-rounds", 2, "mesh campaign rounds per epoch")
+	flag.StringVar(&o.meshProfile, "mesh-profile", "none", "fault preset the mesh fleet probes under")
 	flag.Parse()
 
 	obs.Events().SetOutput(os.Stderr)
@@ -118,6 +134,15 @@ func fillStore(st *mapstore.Store, o options) error {
 		return fmt.Errorf("unknown scale %q", o.scale)
 	}
 	obs.Event(obs.Info, "serve.building", "scale", o.scale, "seed", o.seed, "epochs", o.epochs)
+	if o.meshAgents > 0 {
+		prof, ok := faults.ByName(o.meshProfile)
+		if !ok {
+			return fmt.Errorf("unknown mesh profile %q", o.meshProfile)
+		}
+		obs.Event(obs.Info, "serve.mesh", "agents", o.meshAgents, "rounds", o.meshRounds, "profile", o.meshProfile)
+		return experiments.BuildEpochStoreMeshInto(st, world.Build(cfg), o.epochs, o.workers,
+			experiments.MeshSpec{Agents: o.meshAgents, Rounds: o.meshRounds, Profile: prof})
+	}
 	return experiments.BuildEpochStoreInto(st, world.Build(cfg), o.epochs, o.workers)
 }
 

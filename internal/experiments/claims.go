@@ -481,5 +481,6 @@ func (e *Env) RunAll() []*Result {
 		e.RunE23(),
 		e.RunE24(),
 		e.RunE25(),
+		e.RunE26(),
 	}
 }

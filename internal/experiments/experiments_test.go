@@ -13,8 +13,8 @@ var envSmall = NewEnv(world.Small(1))
 
 func TestRunAllShapesHold(t *testing.T) {
 	results := envSmall.RunAll()
-	if len(results) != 29 {
-		t.Fatalf("expected 29 experiments, got %d", len(results))
+	if len(results) != 30 {
+		t.Fatalf("expected 30 experiments, got %d", len(results))
 	}
 	seen := map[string]bool{}
 	for _, r := range results {

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"strconv"
+
+	"itmap/internal/core"
+	"itmap/internal/faults"
+	"itmap/internal/mapstore"
+	obspkg "itmap/internal/obs"
+	"itmap/internal/simtime"
+	"itmap/internal/vantage"
+	"itmap/internal/world"
+)
+
+// MeshSpec configures the vantage-fleet campaigns a mesh-enabled epoch
+// build runs alongside the per-day map sweeps.
+type MeshSpec struct {
+	// Agents and Rounds shape each day's campaign (vantage.Config defaults
+	// apply when zero).
+	Agents int
+	Rounds int
+	// Profile is the fault preset the fleet probes under.
+	Profile faults.Profile
+}
+
+// RunMeshCampaign runs one day's mesh campaign over w: the fleet is placed
+// from the world's seed, round 0 starts at the given time.
+func RunMeshCampaign(w *world.World, spec MeshSpec, start simtime.Time, workers int) (*core.MeshDocument, *vantage.Stats) {
+	c := vantage.New(w.Top, w.Paths, w.Users, vantage.Config{
+		Agents:  spec.Agents,
+		Rounds:  spec.Rounds,
+		Start:   start,
+		Workers: workers,
+		Seed:    w.Cfg.Seed,
+		Profile: spec.Profile,
+	})
+	return c.Run()
+}
+
+// BuildEpochStoreMeshInto is BuildEpochStoreInto plus a per-day vantage
+// mesh campaign: day d's fleet sweep starts at d·24h and its MeshMatrix is
+// ingested with that day's map, so /v1/path and /v1/latency resolve on
+// every epoch. Like the map build, the resulting store — mesh bytes, mesh
+// ETags, worst-pair rankings — is identical for every workers setting.
+func BuildEpochStoreMeshInto(st *mapstore.Store, w *world.World, days, workers int, spec MeshSpec) error {
+	if days < 1 {
+		days = 1
+	}
+	vantage.RegisterMetrics()
+	envs := EpochEnvs(w, days, workers)
+	obspkg.ActivateTrace("epoch-0")
+	mx := envs[0].Matrix()
+	for d, e := range envs {
+		obspkg.ActivateTrace("epoch-" + strconv.Itoa(d))
+		at := simtime.Time(d) * simtime.Day
+		mesh, _ := RunMeshCampaign(w, spec, at, workers)
+		if _, err := st.AppendMapMesh(at, e.Map(), mx, mesh); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -56,6 +56,11 @@ type Config struct {
 	// carries If-None-Match (default 0.8); the rest re-fetch the body, so
 	// the replay exercises both the 304 path and the warm cache path.
 	Revalidate float64
+	// Mix selects the request profile: "map" (default) replays the
+	// consumer mix over the map routes; "mesh" replays a user↔user mix
+	// over /v1/path, /v1/latency, and /v1/latency/top, drawing AS pairs
+	// zipf-weighted from the store's worst-latency ranking.
+	Mix string
 }
 
 func (c *Config) fill() {
@@ -70,6 +75,9 @@ func (c *Config) fill() {
 	}
 	if c.Revalidate == 0 {
 		c.Revalidate = 0.8
+	}
+	if c.Mix == "" {
+		c.Mix = "map"
 	}
 }
 
@@ -189,15 +197,18 @@ type request struct {
 }
 
 // storeShape is what the plan generator needs to know about the target:
-// how many epochs exist and which ASes are worth querying.
+// how many epochs exist, which ASes are worth querying, and — for the
+// mesh mix — which AS pairs the mesh actually measured.
 type storeShape struct {
 	Epochs int
 	ASes   []uint32
+	Pairs  [][2]uint32
 }
 
 // discover bootstraps the store shape from the API itself: the epoch
-// listing for the epoch count, the latest top-K ranking for the AS pool.
-func discover(d Doer, base string, pool int) (storeShape, error) {
+// listing for the epoch count, the latest top-K ranking for the AS pool,
+// and (mesh mix only) the worst-latency ranking for the pair pool.
+func discover(d Doer, base string, pool int, mix string) (storeShape, error) {
 	var sh storeShape
 	var listing struct {
 		Epochs []struct {
@@ -225,6 +236,23 @@ func discover(d Doer, base string, pool int) (storeShape, error) {
 	if len(sh.ASes) == 0 {
 		return sh, fmt.Errorf("loadgen: store ranks no ASes")
 	}
+	if mix == "mesh" {
+		var worst struct {
+			Top []struct {
+				A uint32 `json:"a"`
+				B uint32 `json:"b"`
+			} `json:"top"`
+		}
+		if err := getJSON(d, base+"/v1/latency/top?k="+strconv.Itoa(pool), &worst); err != nil {
+			return sh, err
+		}
+		for _, r := range worst.Top {
+			sh.Pairs = append(sh.Pairs, [2]uint32{r.A, r.B})
+		}
+		if len(sh.Pairs) == 0 {
+			return sh, fmt.Errorf("loadgen: store ranks no mesh pairs (was it built with a mesh?)")
+		}
+	}
 	return sh, nil
 }
 
@@ -244,11 +272,18 @@ func getJSON(d Doer, url string, v any) error {
 	return json.NewDecoder(resp.Body).Decode(v)
 }
 
-// plan generates the full deterministic request sequence. The mix leans on
-// the interactive routes: rankings and per-AS views dominate, full map
-// fetches (some binary) and diffs fill in — roughly the consumer profile
-// the paper's map targets.
+// plan generates the full deterministic request sequence for the
+// configured mix.
 func plan(cfg Config, sh storeShape) []request {
+	if cfg.Mix == "mesh" {
+		return planMesh(cfg, sh)
+	}
+	return planMap(cfg, sh)
+}
+
+// planMap is the consumer profile the paper's map targets: rankings and
+// per-AS views dominate, full map fetches (some binary) and diffs fill in.
+func planMap(cfg Config, sh storeShape) []request {
 	src := randx.New(cfg.Seed)
 	zipf := randx.NewZipf(len(sh.ASes), cfg.Alpha)
 	topKs := []int{10, 10, 10, 5, 20}
@@ -285,6 +320,43 @@ func plan(cfg Config, sh storeShape) []request {
 	return reqs
 }
 
+// planMesh is the user↔user profile: path lookups and latency summaries
+// over a zipf-skewed pair population (hot pairs get rechecked, like a
+// dashboard polling its worst links), with worst-pair rankings filling in.
+// Pairs are queried in both argument orders so the replay exercises the
+// server's canonicalization.
+func planMesh(cfg Config, sh storeShape) []request {
+	src := randx.New(cfg.Seed)
+	zipf := randx.NewZipf(len(sh.Pairs), cfg.Alpha)
+	topKs := []int{10, 10, 5, 20}
+	reqs := make([]request, 0, cfg.Requests)
+	for len(reqs) < cfg.Requests {
+		var r request
+		roll := src.Float64()
+		if roll < 0.90 {
+			p := sh.Pairs[zipf.Sample(src)-1]
+			a, b := p[0], p[1]
+			if src.Bool(0.5) {
+				a, b = b, a
+			}
+			suffix := strconv.FormatUint(uint64(a), 10) + "/" + strconv.FormatUint(uint64(b), 10)
+			if roll < 0.45 {
+				r.route = "/v1/path/{a}/{b}"
+				r.url = "/v1/path/" + suffix
+			} else {
+				r.route = "/v1/latency/{a}/{b}"
+				r.url = "/v1/latency/" + suffix
+			}
+		} else {
+			r.route = "/v1/latency/top"
+			r.url = "/v1/latency/top?k=" + strconv.Itoa(topKs[src.Intn(len(topKs))])
+		}
+		r.revalidate = src.Bool(cfg.Revalidate)
+		reqs = append(reqs, r)
+	}
+	return reqs
+}
+
 // shardOf routes a URL to its owning worker: all requests for one URL run
 // in one worker, in plan order.
 func shardOf(url string, workers int) int {
@@ -300,7 +372,10 @@ func Run(cfg Config, d Doer) (*Result, error) {
 	if cfg.Requests <= 0 {
 		return nil, fmt.Errorf("loadgen: Requests must be positive")
 	}
-	sh, err := discover(d, cfg.Base, cfg.ASPool)
+	if cfg.Mix != "map" && cfg.Mix != "mesh" {
+		return nil, fmt.Errorf("loadgen: unknown mix %q", cfg.Mix)
+	}
+	sh, err := discover(d, cfg.Base, cfg.ASPool, cfg.Mix)
 	if err != nil {
 		return nil, err
 	}

@@ -114,3 +114,83 @@ func TestServerCountersDeterministic(t *testing.T) {
 		t.Errorf("server counters differ between worker counts:\nworkers=1:\n%s\nworkers=4:\n%s", one, four)
 	}
 }
+
+// meshReplayStore builds a store whose epochs carry mesh sections, so the
+// mesh mix has pairs to discover.
+func meshReplayStore(t *testing.T) *mapstore.Store {
+	t.Helper()
+	s := mapstore.NewStore()
+	err := experiments.BuildEpochStoreMeshInto(s, world.Build(world.Tiny(7)), 2, 0,
+		experiments.MeshSpec{Agents: 24, Rounds: 1})
+	if err != nil {
+		t.Fatalf("BuildEpochStoreMeshInto: %v", err)
+	}
+	return s
+}
+
+func meshReplay(t *testing.T, seed int64, workers int) *Counters {
+	t.Helper()
+	res, err := Run(Config{Seed: seed, Requests: 400, Workers: workers, Mix: "mesh"},
+		HandlerDoer{Handler: mapstore.NewHandler(meshReplayStore(t))})
+	if err != nil {
+		t.Fatalf("Run(mesh): %v", err)
+	}
+	return res.Counters
+}
+
+// TestMeshMixWorkerInvariance: the mesh mix obeys the same determinism
+// contract as the map mix — key-affinity sharding keeps the ledger
+// identical across worker counts.
+func TestMeshMixWorkerInvariance(t *testing.T) {
+	one, err := meshReplay(t, 11, 1).MarshalSorted()
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := meshReplay(t, 11, 4).MarshalSorted()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(one, four) {
+		t.Errorf("mesh mix ledger depends on workers:\nworkers=1:\n%s\nworkers=4:\n%s", one, four)
+	}
+}
+
+// TestMeshMixExercisesRoutes: every mesh route appears, only mesh routes
+// appear, and both the revalidation and warm-cache paths fire.
+func TestMeshMixExercisesRoutes(t *testing.T) {
+	c := meshReplay(t, 12, 2)
+	if got := c.Total(); got != 400 {
+		t.Fatalf("Total = %d, want 400", got)
+	}
+	for _, route := range []string{"/v1/path/{a}/{b}", "/v1/latency/{a}/{b}", "/v1/latency/top"} {
+		if c.Requests[route] == 0 {
+			t.Errorf("route %s never requested", route)
+		}
+	}
+	if len(c.Requests) != 3 {
+		t.Errorf("mesh mix hit non-mesh routes: %v", c.Requests)
+	}
+	if c.NotModified == 0 {
+		t.Error("mesh replay produced no 304s: If-None-Match path untested")
+	}
+	if c.Results["hit"] == 0 {
+		t.Error("mesh replay never hit the response cache")
+	}
+	if c.ETagChanges != 0 {
+		t.Errorf("ETagChanges = %d against a static store, want 0", c.ETagChanges)
+	}
+}
+
+// TestMeshMixNeedsMesh: against a store built without mesh sections the
+// mesh mix fails fast at discovery instead of replaying 404s.
+func TestMeshMixNeedsMesh(t *testing.T) {
+	_, err := Run(Config{Seed: 1, Requests: 10, Mix: "mesh"},
+		HandlerDoer{Handler: mapstore.NewHandler(replayStore(t))})
+	if err == nil {
+		t.Fatal("mesh mix against a meshless store succeeded")
+	}
+	if _, err := Run(Config{Seed: 1, Requests: 10, Mix: "bogus"},
+		HandlerDoer{Handler: mapstore.NewHandler(replayStore(t))}); err == nil {
+		t.Fatal("unknown mix accepted")
+	}
+}

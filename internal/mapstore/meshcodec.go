@@ -1,0 +1,230 @@
+package mapstore
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"itmap/internal/core"
+	"itmap/internal/obs"
+)
+
+// Mesh wire format (ITMB codec version 2; same primitives as version 1):
+//
+//	header  magic "ITMB" | codec version (2) | document version |
+//	        agents | rounds | profile (len | raw bytes)
+//	pairs   count | count × pair, sorted by canonical key with the key
+//	        delta-encoded (first absolute, then strictly positive deltas)
+//
+//	pair    key delta | flags byte (bit0 = complete) | probes | lost |
+//	        min/mean/max RTT + confidence (4 × float bits) |
+//	        path len | path len × hop ASN (0 = hole)
+//
+// Like the map codec, every section is sorted and every integer minimal,
+// so the encoding is a pure function of the document: decode followed by
+// re-encode is byte-identical, which epoch-level structural sharing and
+// the E26 worker-parity check rely on.
+
+// MeshCodecVersion is the ITMB wire version carrying mesh sections.
+const MeshCodecVersion = 2
+
+// maxMeshPathLen bounds one pair's AS path on the wire. Simulated paths
+// are a handful of hops; anything longer is corruption.
+const maxMeshPathLen = 255
+
+// meshPairMinBytes is the smallest possible encoded pair: four 1-byte
+// varints (key delta, probes, lost, path len), the flags byte, and the
+// four 8-byte floats.
+const meshPairMinBytes = 4 + 1 + 32
+
+// EncodeMeshDocument serializes a mesh document into ITMB v2 bytes. The
+// input is not mutated; pairs are sorted into canonical key order during
+// encoding, so the output is a pure function of the document's content.
+func EncodeMeshDocument(doc *core.MeshDocument) ([]byte, error) {
+	if doc == nil {
+		return nil, fmt.Errorf("%w: nil mesh document", ErrEncode)
+	}
+	if doc.Version < 0 || doc.Agents < 0 || doc.Rounds < 0 {
+		return nil, fmt.Errorf("%w: negative mesh header field", ErrEncode)
+	}
+	e := encPool.Get().(*encoder)
+	defer encPool.Put(e)
+	e.reset()
+	e.raw(Magic[:])
+	e.uvarint(MeshCodecVersion)
+	e.uvarint(uint64(doc.Version))
+	e.uvarint(uint64(doc.Agents))
+	e.uvarint(uint64(doc.Rounds))
+	e.uvarint(uint64(len(doc.Profile)))
+	e.raw([]byte(doc.Profile))
+
+	pairs := make([]core.MeshPairDocument, len(doc.Pairs))
+	copy(pairs, doc.Pairs)
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].Key() < pairs[j].Key() })
+	e.uvarint(uint64(len(pairs)))
+	var prev uint64
+	for i := range pairs {
+		p := &pairs[i]
+		if p.Lo == 0 || p.Lo >= p.Hi {
+			return nil, fmt.Errorf("%w: mesh pair (%d, %d) not canonical", ErrEncode, p.Lo, p.Hi)
+		}
+		key := p.Key()
+		if i > 0 && key == prev {
+			return nil, fmt.Errorf("%w: duplicate mesh pair (%d, %d)", ErrEncode, p.Lo, p.Hi)
+		}
+		if i == 0 {
+			e.uvarint(key)
+		} else {
+			e.uvarint(key - prev)
+		}
+		prev = key
+		var flags byte
+		if p.Complete {
+			flags |= 1
+		}
+		e.byte(flags)
+		if p.Probes < 0 || p.Lost < 0 || p.Lost > p.Probes {
+			return nil, fmt.Errorf("%w: mesh pair (%d, %d) probe counts %d/%d", ErrEncode, p.Lo, p.Hi, p.Lost, p.Probes)
+		}
+		e.uvarint(uint64(p.Probes))
+		e.uvarint(uint64(p.Lost))
+		e.float(p.MinRTT)
+		e.float(p.MeanRTT)
+		e.float(p.MaxRTT)
+		e.float(p.Confidence)
+		if len(p.Path) > maxMeshPathLen {
+			return nil, fmt.Errorf("%w: mesh pair (%d, %d) path length %d", ErrEncode, p.Lo, p.Hi, len(p.Path))
+		}
+		e.uvarint(uint64(len(p.Path)))
+		for _, hop := range p.Path {
+			e.uvarint(uint64(hop))
+		}
+	}
+	obs.C("itm_codec_encoded_bytes_total", "ITMB bytes produced by document encodes.").Add(uint64(len(e.buf)))
+	out := make([]byte, len(e.buf))
+	copy(out, e.buf)
+	return out, nil
+}
+
+// DecodeMeshDocument parses ITMB v2 bytes back into a mesh document. The
+// result is canonical (sorted pairs, nil empty path slices), so re-encoding
+// reproduces the input exactly. Corrupted, truncated, or oversized inputs
+// return a typed error; decoding never panics.
+func DecodeMeshDocument(data []byte) (*core.MeshDocument, error) {
+	d := &decoder{buf: data}
+	if d.remaining() < len(Magic) {
+		return nil, fmt.Errorf("%w: input shorter than magic", ErrTruncated)
+	}
+	if string(d.buf[:len(Magic)]) != string(Magic[:]) {
+		return nil, ErrMagic
+	}
+	d.pos = len(Magic)
+	cv, err := d.uvarint("codec version")
+	if err != nil {
+		return nil, err
+	}
+	if cv != MeshCodecVersion {
+		return nil, fmt.Errorf("%w: codec version %d", ErrVersion, cv)
+	}
+	doc := &core.MeshDocument{}
+	for _, h := range []struct {
+		what string
+		dst  *int
+	}{{"document version", &doc.Version}, {"mesh agents", &doc.Agents}, {"mesh rounds", &doc.Rounds}} {
+		v, err := d.uvarint(h.what)
+		if err != nil {
+			return nil, err
+		}
+		if v > math.MaxInt32 {
+			return nil, fmt.Errorf("%w: %s %d out of range", ErrCorrupt, h.what, v)
+		}
+		*h.dst = int(v)
+	}
+	if doc.Profile, err = d.str("mesh profile"); err != nil {
+		return nil, err
+	}
+
+	n, err := d.count("mesh pairs", meshPairMinBytes)
+	if err != nil {
+		return nil, err
+	}
+	if n > 0 {
+		doc.Pairs = make([]core.MeshPairDocument, 0, n)
+	}
+	var prev uint64
+	for i := 0; i < n; i++ {
+		v, err := d.uvarint("mesh pair key")
+		if err != nil {
+			return nil, err
+		}
+		key := v
+		if i > 0 {
+			key = prev + v
+			// v == 0 is a duplicate; wrap-around lands below prev. Either
+			// way the sequence is not strictly ascending.
+			if key <= prev {
+				return nil, fmt.Errorf("%w: mesh pair keys not strictly ascending", ErrCorrupt)
+			}
+		}
+		prev = key
+		p := core.MeshPairDocument{Lo: uint32(key >> 32), Hi: uint32(key & 0xffffffff)}
+		if p.Lo == 0 || p.Lo >= p.Hi {
+			return nil, fmt.Errorf("%w: mesh pair key %#x not canonical", ErrCorrupt, key)
+		}
+		flags, err := d.byteVal("mesh pair flags")
+		if err != nil {
+			return nil, err
+		}
+		if flags > 1 {
+			return nil, fmt.Errorf("%w: mesh pair flags %#x", ErrCorrupt, flags)
+		}
+		p.Complete = flags&1 != 0
+		probes, err := d.uvarint("mesh pair probes")
+		if err != nil {
+			return nil, err
+		}
+		lost, err := d.uvarint("mesh pair lost")
+		if err != nil {
+			return nil, err
+		}
+		if probes > math.MaxInt32 || lost > probes {
+			return nil, fmt.Errorf("%w: mesh pair probe counts %d/%d", ErrCorrupt, lost, probes)
+		}
+		p.Probes, p.Lost = int(probes), int(lost)
+		for _, f := range []struct {
+			what string
+			dst  *float64
+		}{{"mesh min RTT", &p.MinRTT}, {"mesh mean RTT", &p.MeanRTT}, {"mesh max RTT", &p.MaxRTT}, {"mesh confidence", &p.Confidence}} {
+			if *f.dst, err = d.float(f.what); err != nil {
+				return nil, err
+			}
+		}
+		hops, err := d.uvarint("mesh path length")
+		if err != nil {
+			return nil, err
+		}
+		if hops > maxMeshPathLen {
+			return nil, fmt.Errorf("%w: mesh path length %d", ErrCorrupt, hops)
+		}
+		if hops > 0 {
+			p.Path = make([]uint32, hops)
+			for j := range p.Path {
+				hop, err := d.uvarint("mesh path hop")
+				if err != nil {
+					return nil, err
+				}
+				if hop > math.MaxUint32 {
+					return nil, fmt.Errorf("%w: mesh path hop %d out of range", ErrCorrupt, hop)
+				}
+				p.Path[j] = uint32(hop)
+			}
+		}
+		doc.Pairs = append(doc.Pairs, p)
+	}
+
+	if d.remaining() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, d.remaining())
+	}
+	obs.C("itm_codec_decoded_bytes_total", "ITMB bytes consumed by successful document decodes.").Add(uint64(len(data)))
+	return doc, nil
+}

@@ -1,0 +1,153 @@
+package mapstore
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"itmap/internal/core"
+	"itmap/internal/simtime"
+)
+
+// The user↔user mesh routes:
+//
+//	GET /v1/path/{a}/{b}?epoch=        observed AS path between two ASes
+//	GET /v1/latency/{a}/{b}?epoch=     RTT distribution summary for the pair
+//	GET /v1/latency/top?epoch=&k=      worst pairs by mean RTT
+//
+// All three resolve the epoch like every other route (?epoch=, default
+// latest), carry the mesh-scoped strong ETag, and flow through the epoch's
+// response cache — including cached 404s for pairs the campaign never
+// measured, which are immutable facts of the epoch.
+
+// meshTopKey is the normalized cache key for the worst-pairs ranking.
+func meshTopKey(k int) string { return "latency/top?k=" + strconv.Itoa(k) }
+
+func meshPairKey(kind string, a, b uint32) string {
+	return kind + "?pair=" + strconv.FormatUint(core.MeshKey(a, b), 16)
+}
+
+// meshEpoch resolves the request's epoch and requires it to carry a mesh.
+func (h *handler) meshEpoch(w http.ResponseWriter, r *http.Request, v *epochList) (*Epoch, bool) {
+	e, err := epochIn(v, r)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return nil, false
+	}
+	if e.MeshDoc == nil {
+		writeErr(w, http.StatusNotFound, "epoch %d has no mesh sections", e.ID)
+		return nil, false
+	}
+	return e, true
+}
+
+// meshPairIn parses the {a}/{b} path ASNs and looks the pair up, reporting
+// render-layer errors so negative results cache with the epoch.
+func meshPairIn(e *Epoch, a, b uint32) (*core.MeshPairDocument, error) {
+	p, ok := e.MeshPair(a, b)
+	if !ok {
+		return nil, &statusErr{http.StatusNotFound,
+			fmt.Sprintf("no mesh measurement for AS pair %d/%d in epoch %d", a, b, e.ID)}
+	}
+	return p, nil
+}
+
+type meshPathResponse struct {
+	Epoch    int          `json:"epoch"`
+	At       simtime.Time `json:"at_hours"`
+	A        uint32       `json:"a"`
+	B        uint32       `json:"b"`
+	Path     []uint32     `json:"path,omitempty"`
+	Complete bool         `json:"complete"`
+	// Confidence is the pair's coverage score (see core.MeshPairDocument).
+	Confidence float64 `json:"confidence"`
+}
+
+func (h *handler) meshPath(w http.ResponseWriter, r *http.Request) {
+	a, errA := pathASN(r, "a")
+	b, errB := pathASN(r, "b")
+	if errA != nil || errB != nil {
+		writeErr(w, http.StatusBadRequest, "bad AS pair %q/%q", r.PathValue("a"), r.PathValue("b"))
+		return
+	}
+	v := h.view()
+	e, ok := h.meshEpoch(w, r, v)
+	if !ok {
+		return
+	}
+	serveCached(w, r, "/v1/path/{a}/{b}", e.cache, meshPairKey("path", a, b), e.MeshETag,
+		func() ([]byte, string, error) {
+			p, err := meshPairIn(e, a, b)
+			if err != nil {
+				return nil, "", err
+			}
+			return jsonBody(meshPathResponse{
+				Epoch: e.ID, At: e.At, A: p.Lo, B: p.Hi,
+				Path: p.Path, Complete: p.Complete, Confidence: p.Confidence,
+			})
+		})
+}
+
+type meshLatencyResponse struct {
+	Epoch      int          `json:"epoch"`
+	At         simtime.Time `json:"at_hours"`
+	A          uint32       `json:"a"`
+	B          uint32       `json:"b"`
+	Probes     int          `json:"probes"`
+	Lost       int          `json:"lost"`
+	Loss       float64      `json:"loss"`
+	MinRTTms   float64      `json:"min_rtt_ms"`
+	MeanRTTms  float64      `json:"mean_rtt_ms"`
+	MaxRTTms   float64      `json:"max_rtt_ms"`
+	Complete   bool         `json:"complete"`
+	Confidence float64      `json:"confidence"`
+}
+
+func (h *handler) meshLatency(w http.ResponseWriter, r *http.Request) {
+	a, errA := pathASN(r, "a")
+	b, errB := pathASN(r, "b")
+	if errA != nil || errB != nil {
+		writeErr(w, http.StatusBadRequest, "bad AS pair %q/%q", r.PathValue("a"), r.PathValue("b"))
+		return
+	}
+	v := h.view()
+	e, ok := h.meshEpoch(w, r, v)
+	if !ok {
+		return
+	}
+	serveCached(w, r, "/v1/latency/{a}/{b}", e.cache, meshPairKey("latency", a, b), e.MeshETag,
+		func() ([]byte, string, error) {
+			p, err := meshPairIn(e, a, b)
+			if err != nil {
+				return nil, "", err
+			}
+			return jsonBody(meshLatencyResponse{
+				Epoch: e.ID, At: e.At, A: p.Lo, B: p.Hi,
+				Probes: p.Probes, Lost: p.Lost, Loss: p.LossRate(),
+				MinRTTms: p.MinRTT, MeanRTTms: p.MeanRTT, MaxRTTms: p.MaxRTT,
+				Complete: p.Complete, Confidence: p.Confidence,
+			})
+		})
+}
+
+type meshTopResponse struct {
+	Epoch int        `json:"epoch"`
+	Top   []MeshRank `json:"top"`
+}
+
+func (h *handler) meshLatencyTop(w http.ResponseWriter, r *http.Request) {
+	v := h.view()
+	e, ok := h.meshEpoch(w, r, v)
+	if !ok {
+		return
+	}
+	k, err := intParam(r, "k", defaultTopK)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	serveCached(w, r, "/v1/latency/top", e.cache, meshTopKey(k), e.MeshETag,
+		func() ([]byte, string, error) {
+			return jsonBody(meshTopResponse{Epoch: e.ID, Top: e.WorstMeshPairs(k)})
+		})
+}

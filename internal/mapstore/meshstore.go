@@ -1,0 +1,121 @@
+package mapstore
+
+import (
+	"bytes"
+	"sort"
+	"strconv"
+
+	"itmap/internal/core"
+	"itmap/internal/obs"
+)
+
+// Mesh ingestion and the mesh query indexes. The mesh rides along with an
+// epoch's map document: AppendMapMesh/AppendMesh hand ingestMesh the
+// campaign's MeshDocument, which is encoded to canonical ITMB v2 bytes,
+// structurally shared with the previous epoch when byte-equal (a stable
+// mesh costs one encode per epoch and nothing else), and indexed for the
+// /v1/path and /v1/latency routes.
+
+// meshETag derives the strong validator for mesh-scoped responses from the
+// canonical mesh encoding, byte-identical across runs and worker counts
+// like every other store ETag.
+func meshETag(id int, encoded []byte) string {
+	return `"itm-m` + strconv.Itoa(id) + `-` + strconv.FormatUint(fingerprint(encoded), 16) + `"`
+}
+
+// ingestMesh attaches mesh (possibly nil) to the epoch being built. Runs
+// under the store's append lock, before the epoch is published.
+func (e *Epoch) ingestMesh(prev *Epoch, mesh *core.MeshDocument) error {
+	if mesh == nil {
+		return nil
+	}
+	mesh.Normalize()
+	enc, err := EncodeMeshDocument(mesh)
+	if err != nil {
+		return err
+	}
+	if prev != nil && prev.MeshEncoded != nil && bytes.Equal(enc, prev.MeshEncoded) {
+		// The encoding is a pure function of the document, so byte equality
+		// proves the meshes are identical: share everything derived.
+		e.MeshDoc = prev.MeshDoc
+		e.MeshEncoded = prev.MeshEncoded
+		e.MeshETag = prev.MeshETag
+		e.MeshShared = true
+		e.meshWorst = prev.meshWorst
+		obs.C("itm_mapstore_mesh_shared_total", "Mesh sections structurally shared with the previous epoch.").Inc()
+		return nil
+	}
+	e.MeshDoc = mesh
+	e.MeshEncoded = enc
+	e.MeshETag = meshETag(e.ID, enc)
+	e.meshWorst = rankMeshPairs(mesh)
+	obs.C("itm_mapstore_mesh_epochs_total", "Epochs ingested carrying a fresh mesh matrix.").Inc()
+	obs.H("itm_mapstore_mesh_bytes", "Encoded (ITMB v2) size of ingested mesh matrices, in bytes.", epochBytesBuckets).Observe(float64(len(enc)))
+	return nil
+}
+
+// MeshRank is one AS pair's position in the epoch's worst-latency ranking.
+type MeshRank struct {
+	A         uint32  `json:"a"`
+	B         uint32  `json:"b"`
+	MeanRTTms float64 `json:"mean_rtt_ms"`
+	MinRTTms  float64 `json:"min_rtt_ms"`
+	Loss      float64 `json:"loss"`
+	Complete  bool    `json:"complete"`
+}
+
+// rankMeshPairs orders pairs worst-first: mean RTT descending, canonical
+// key ascending on ties — one total order, so rankings are deterministic.
+func rankMeshPairs(mesh *core.MeshDocument) []MeshRank {
+	out := make([]MeshRank, 0, len(mesh.Pairs))
+	for i := range mesh.Pairs {
+		p := &mesh.Pairs[i]
+		if p.Probes == p.Lost {
+			continue // no surviving pings: nothing to rank
+		}
+		out = append(out, MeshRank{
+			A: p.Lo, B: p.Hi,
+			MeanRTTms: p.MeanRTT, MinRTTms: p.MinRTT,
+			Loss: p.LossRate(), Complete: p.Complete,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].MeanRTTms != out[j].MeanRTTms {
+			return out[i].MeanRTTms > out[j].MeanRTTms
+		}
+		return core.MeshKey(out[i].A, out[i].B) < core.MeshKey(out[j].A, out[j].B)
+	})
+	return out
+}
+
+// RankMeshPairs returns mesh's k worst pairs by mean RTT, the same total
+// order the /v1/latency/top route serves.
+func RankMeshPairs(mesh *core.MeshDocument, k int) []MeshRank {
+	ranked := rankMeshPairs(mesh)
+	if k < 0 {
+		k = 0
+	}
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	return ranked[:k:k]
+}
+
+// MeshPair returns the epoch's entry for the (a, b) AS pair, either order.
+func (e *Epoch) MeshPair(a, b uint32) (*core.MeshPairDocument, bool) {
+	if e.MeshDoc == nil {
+		return nil, false
+	}
+	return e.MeshDoc.PairAt(a, b)
+}
+
+// WorstMeshPairs returns the k highest-mean-RTT pairs of the epoch's mesh.
+func (e *Epoch) WorstMeshPairs(k int) []MeshRank {
+	if k < 0 {
+		k = 0
+	}
+	if k > len(e.meshWorst) {
+		k = len(e.meshWorst)
+	}
+	return e.meshWorst[:k:k]
+}

@@ -110,6 +110,7 @@ type Info struct {
 	Mappings       int          `json:"mappings"`
 	EncodedBytes   int          `json:"encoded_bytes"`
 	SharedSections int          `json:"shared_sections"`
+	MeshPairs      int          `json:"mesh_pairs,omitempty"`
 }
 
 // Info summarizes the epoch.
@@ -123,7 +124,15 @@ func (e *Epoch) Info() Info {
 		Mappings:       len(e.Doc.Mappings),
 		EncodedBytes:   len(e.Encoded),
 		SharedSections: e.SharedSections,
+		MeshPairs:      e.meshPairCount(),
 	}
+}
+
+func (e *Epoch) meshPairCount() int {
+	if e.MeshDoc == nil {
+		return 0
+	}
+	return len(e.MeshDoc.Pairs)
 }
 
 // Infos lists every epoch's metadata, oldest first.

@@ -18,6 +18,9 @@ import (
 //	GET /v1/as/{asn}?epoch=&k=    per-AS view + longitudinal series
 //	GET /v1/diff/{a}/{b}?min_shift=  epoch-to-epoch diff
 //	GET /v1/link/{a}/{b}?epoch=   ground-truth link load (if ingested)
+//	GET /v1/path/{a}/{b}?epoch=   user↔user observed AS path (if meshed)
+//	GET /v1/latency/{a}/{b}?epoch= user↔user RTT summary (if meshed)
+//	GET /v1/latency/top?epoch=&k= worst mesh pairs by mean RTT
 //
 // The handler only reads store snapshots, so it serves concurrently with
 // ingestion without locking; each request resolves one snapshot up front
@@ -41,6 +44,9 @@ func NewHandler(s *Store) http.Handler {
 	route("GET /v1/as/{asn}", h.asView)
 	route("GET /v1/diff/{a}/{b}", h.diff)
 	route("GET /v1/link/{a}/{b}", h.link)
+	route("GET /v1/path/{a}/{b}", h.meshPath)
+	route("GET /v1/latency/{a}/{b}", h.meshLatency)
+	route("GET /v1/latency/top", h.meshLatencyTop)
 	return mux
 }
 

@@ -39,6 +39,18 @@ type Epoch struct {
 	// reused from the previous epoch at ingest.
 	SharedSections int
 
+	// MeshDoc, when present, is the epoch's user↔user mesh matrix;
+	// MeshEncoded its canonical ITMB v2 encoding and MeshETag the strong
+	// validator for mesh-scoped responses. MeshShared reports that the
+	// encoding was byte-equal to the previous epoch's, so document, bytes,
+	// tag, and indexes are all structurally shared with it. The mesh is not
+	// WAL-journaled (only map encodings are; see walstore.go), so recovery
+	// restores a store without mesh sections.
+	MeshDoc     *core.MeshDocument
+	MeshEncoded []byte
+	MeshETag    string
+	MeshShared  bool
+
 	// mx optionally carries the ground-truth matrix snapshot for
 	// link-load queries (dense views preferred), and top the topology
 	// whose dense AS index mx's link index is aligned with. Both nil for
@@ -56,6 +68,7 @@ type Epoch struct {
 	confidence map[uint32]float64 // ASN → confidence (only if doc carries it)
 	sources    map[uint32]string  // ASN → source label
 	users      core.UsersComponent
+	meshWorst  []MeshRank // mesh pairs by mean RTT desc, key asc
 
 	// cache holds encoded response bodies scoped to this epoch. Epochs are
 	// immutable, so entries never invalidate; appends leave them untouched.
@@ -155,17 +168,30 @@ func (s *Store) Latest() *Epoch {
 // the ground-truth matrix snapshot enabling link-load queries (the matrix's
 // link index must come from m.Top's dense AS index).
 func (s *Store) AppendMap(at simtime.Time, m *core.TrafficMap, mx *traffic.Matrix) (*Epoch, error) {
-	return s.append(at, m.Document(), mx, m.Top)
+	return s.append(at, m.Document(), mx, m.Top, nil)
+}
+
+// AppendMapMesh is AppendMap plus the epoch's user↔user mesh matrix, as
+// produced by a vantage campaign. The mesh is normalized; the caller must
+// not mutate it afterwards.
+func (s *Store) AppendMapMesh(at simtime.Time, m *core.TrafficMap, mx *traffic.Matrix, mesh *core.MeshDocument) (*Epoch, error) {
+	return s.append(at, m.Document(), mx, m.Top, mesh)
 }
 
 // Append ingests a serialized map document (e.g. an imported JSON export or
 // a decoded ITMB blob). The document is normalized; the caller must not
 // mutate it afterwards.
 func (s *Store) Append(at simtime.Time, doc *core.MapDocument) (*Epoch, error) {
-	return s.append(at, doc, nil, nil)
+	return s.append(at, doc, nil, nil, nil)
 }
 
-func (s *Store) append(at simtime.Time, doc *core.MapDocument, mx *traffic.Matrix, top *topology.Topology) (*Epoch, error) {
+// AppendMesh ingests a serialized map document together with a mesh matrix
+// (decoded ITMB blobs, tests).
+func (s *Store) AppendMesh(at simtime.Time, doc *core.MapDocument, mesh *core.MeshDocument) (*Epoch, error) {
+	return s.append(at, doc, nil, nil, mesh)
+}
+
+func (s *Store) append(at simtime.Time, doc *core.MapDocument, mx *traffic.Matrix, top *topology.Topology, mesh *core.MeshDocument) (*Epoch, error) {
 	if doc == nil {
 		return nil, fmt.Errorf("mapstore: nil document")
 	}
@@ -209,6 +235,9 @@ func (s *Store) append(at simtime.Time, doc *core.MapDocument, mx *traffic.Matri
 		e.users = users
 	}
 	if err := e.buildIndexes(prev, shared); err != nil {
+		return nil, err
+	}
+	if err := e.ingestMesh(prev, mesh); err != nil {
 		return nil, err
 	}
 
@@ -268,6 +297,11 @@ func (e *Epoch) prebake(prev *Epoch) {
 			func() ([]byte, string, error) {
 				return jsonBody(diffEpochs(prev, e, defaultMinShift))
 			})
+	}
+	if e.MeshDoc != nil && !e.MeshShared {
+		bake(e.cache, meshTopKey(defaultTopK), "/v1/latency/top", func() ([]byte, string, error) {
+			return jsonBody(meshTopResponse{Epoch: e.ID, Top: e.WorstMeshPairs(defaultTopK)})
+		})
 	}
 }
 
