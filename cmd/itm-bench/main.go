@@ -14,8 +14,9 @@
 // With -loadgen it also replays a seeded itm-loadgen mix in-process against
 // a freshly built store and records the client-side deterministic ledger
 // ("Loadgen/counters") plus the server-side response-cache families
-// ("Loadgen/obs", the itm_cache_* counters). Wall-clock QPS/latency never
-// enter the file.
+// ("Loadgen/obs", the itm_cache_* counters). The replay's wall-clock ledger
+// (QPS, p50/p99) lands under "Perf/loadgen" — machine-dependent by nature,
+// excluded from CI's byte-identity diff (see the 0_header block).
 //
 // With -mesh it builds a mesh-enabled store (vantage fleet campaigns per
 // epoch), replays the user↔user mesh mix against /v1/path + /v1/latency,
@@ -28,6 +29,11 @@
 // The phased orchestration makes the counts exact — admitted ==
 // capacity + queue, shed == extra — independent of scheduling, so they
 // diff cleanly.
+//
+// With -slo it builds a mesh-enabled store, replays the consumer mix, and
+// records the SLO engine's burn-rate judgment ("SLO/obs"): per-objective
+// status ordinals, max burn rates, and per-window SLI/bad/total — the
+// regression trip-wire for "fast and reliable under load".
 //
 // Usage:
 //
@@ -49,8 +55,33 @@ import (
 	"itmap/internal/loadgen"
 	"itmap/internal/mapstore"
 	"itmap/internal/obs"
+	"itmap/internal/obs/history"
+	"itmap/internal/obs/slo"
 	"itmap/internal/world"
 )
+
+// benchHeader documents the file's determinism contract. The "0_" prefix
+// makes it sort first under encoding/json's byte-wise key ordering, so the
+// contract reads as a header comment.
+var benchHeader = map[string]string{
+	"_1": "Deterministic bench counters distilled by cmd/itm-bench. Every section except Perf/*",
+	"_2": "is a pure function of (code, seeds, -benchtime): allocation counts, campaign/serving/SLO",
+	"_3": "counters, client ledgers. CI regenerates the file and diffs it against this baseline.",
+	"_4": "Perf/* sections are the machine-dependent wall-clock ledgers (QPS, p50/p99 latency) —",
+	"_5": "recorded for trend-watching, explicitly excluded from the CI byte-identity diff.",
+}
+
+// swapFresh isolates one in-process scenario: a fresh observability set and
+// a fresh telemetry history ring, restored on return, so sections never
+// leak counters (or history samples) into each other.
+func swapFresh() func() {
+	prevObs := obs.Swap(obs.NewSet())
+	prevRing := history.Swap(history.NewRing(0))
+	return func() {
+		obs.Swap(prevObs)
+		history.Swap(prevRing)
+	}
+}
 
 // gomaxprocsSuffix strips the trailing -N parallelism tag from a benchmark
 // name: the same bench on a different machine keeps the same key.
@@ -113,8 +144,7 @@ func parse(lines *bufio.Scanner) (map[string]map[string]float64, error) {
 // counter map. Swapping the set in (and back out) keeps the numbers
 // independent of whatever else the process has already counted.
 func campaignCounters(seed int64) (map[string]float64, error) {
-	prev := obs.Swap(obs.NewSet())
-	defer obs.Swap(prev)
+	defer swapFresh()()
 	if _, err := experiments.BuildEpochStore(world.Build(world.Tiny(seed)), 2, 0); err != nil {
 		return nil, err
 	}
@@ -134,17 +164,16 @@ func campaignCounters(seed int64) (map[string]float64, error) {
 // the server-side itm_cache_* families. Both are pure functions of (world
 // seed, plan seed, request count): key-affinity sharding keeps them
 // worker-count-invariant.
-func loadgenCounters(seed int64) (client, server map[string]float64, err error) {
-	prev := obs.Swap(obs.NewSet())
-	defer obs.Swap(prev)
+func loadgenCounters(seed int64) (client, server map[string]float64, perf loadgen.Perf, err error) {
+	defer swapFresh()()
 	st, err := experiments.BuildEpochStore(world.Build(world.Tiny(seed)), 3, 0)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, perf, err
 	}
 	res, err := loadgen.Run(loadgen.Config{Seed: seed, Requests: 2000, Workers: 4},
 		loadgen.HandlerDoer{Handler: mapstore.NewHandler(st)})
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, perf, err
 	}
 	server = map[string]float64{}
 	obs.Metrics().Visit(func(name string, labels []obs.Label, value float64) {
@@ -157,7 +186,7 @@ func loadgenCounters(seed int64) (client, server map[string]float64, err error) 
 		}
 		server[key] = value
 	})
-	return res.Counters.Flat(), server, nil
+	return res.Counters.Flat(), server, res.Perf, nil
 }
 
 // meshCounters builds a mesh-enabled store in-process, replays the mesh
@@ -166,8 +195,7 @@ func loadgenCounters(seed int64) (client, server map[string]float64, err error) 
 // itm_mapstore_mesh_* from ingestion, itm_cache_* from serving). All pure
 // functions of (world seed, plan seed), worker-count-invariant.
 func meshCounters(seed int64) (client, server map[string]float64, err error) {
-	prev := obs.Swap(obs.NewSet())
-	defer obs.Swap(prev)
+	defer swapFresh()()
 	st := mapstore.NewStore()
 	if err := experiments.BuildEpochStoreMeshInto(st, world.Build(world.Tiny(seed)), 2, 0,
 		experiments.MeshSpec{Agents: 48, Rounds: 2}); err != nil {
@@ -198,8 +226,7 @@ func meshCounters(seed int64) (client, server map[string]float64, err error) {
 // fresh obs set: a gated handler holds `capacity` slots and a full queue
 // while `extra` arrivals shed, so every number below is exact.
 func overloadCounters() map[string]float64 {
-	prev := obs.Swap(obs.NewSet())
-	defer obs.Swap(prev)
+	defer swapFresh()()
 	res := mapstore.OverloadScenario(4, 8, 16)
 	vals := map[string]float64{
 		"issued":   float64(res.Issued),
@@ -219,6 +246,59 @@ func overloadCounters() map[string]float64 {
 	return vals
 }
 
+// sloStatusCode encodes an objective status as a small ordinal so the SLO
+// section diffs numerically: 0 met, 1 no_data, 2 at_risk, 3 violated.
+func sloStatusCode(status string) float64 {
+	switch status {
+	case slo.StatusMet:
+		return 0
+	case slo.StatusNoData:
+		return 1
+	case slo.StatusAtRisk:
+		return 2
+	case slo.StatusViolated:
+		return 3
+	}
+	return -1
+}
+
+// sloCounters builds a mesh-enabled store, replays the consumer mix, and
+// distills the SLO engine's burn-rate judgment into flat counters. Every
+// input is a deterministic counter and windows are history samples, so the
+// section is a pure function of (world seed, plan seed).
+func sloCounters(seed int64) (map[string]float64, error) {
+	defer swapFresh()()
+	st := mapstore.NewStore()
+	if err := experiments.BuildEpochStoreMeshInto(st, world.Build(world.Tiny(seed)), 3, 0,
+		experiments.MeshSpec{Agents: 48, Rounds: 2}); err != nil {
+		return nil, err
+	}
+	if _, err := loadgen.Run(loadgen.Config{Seed: seed, Requests: 1500, Workers: 4},
+		loadgen.HandlerDoer{Handler: mapstore.NewHandler(st)}); err != nil {
+		return nil, err
+	}
+	rep := (&slo.Engine{Objectives: slo.ServingObjectives()}).Evaluate()
+	vals := map[string]float64{
+		"generation": float64(rep.Generation),
+		"all_met":    0,
+	}
+	if rep.AllMet {
+		vals["all_met"] = 1
+	}
+	for _, o := range rep.Objectives {
+		p := "objective{name=" + o.Name + "}"
+		vals[p+" status"] = sloStatusCode(o.Status)
+		vals[p+" max_burn_rate"] = o.MaxBurnRate
+		for i, w := range o.Windows {
+			wp := fmt.Sprintf("%s window{idx=%d,samples=%d}", p, i, w.Samples)
+			vals[wp+" sli"] = w.SLI
+			vals[wp+" bad"] = w.Bad
+			vals[wp+" total"] = w.Total
+		}
+	}
+	return vals, nil
+}
+
 func main() {
 	outPath := flag.String("o", "BENCH_serve.json", "output file")
 	campaign := flag.Bool("campaign", false, "also run a tiny seeded campaign and record its stable obs counters")
@@ -228,12 +308,18 @@ func main() {
 	overloadRun := flag.Bool("overload", false, "also run the deterministic admission-control overload scenario")
 	meshRun := flag.Bool("mesh", false, "also build a mesh-enabled store, replay the mesh mix, and record its deterministic counters")
 	meshSeed := flag.Int64("mesh-seed", 9, "seed for the -mesh run (world and plan)")
+	sloRun := flag.Bool("slo", false, "also evaluate the serving SLOs over a seeded campaign and record the burn-rate judgment")
+	sloSeed := flag.Int64("slo-seed", 11, "seed for the -slo run (world and plan)")
 	flag.Parse()
 
-	results, err := parse(bufio.NewScanner(os.Stdin))
+	parsed, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "itm-bench:", err)
 		os.Exit(1)
+	}
+	results := map[string]any{}
+	for k, v := range parsed {
+		results[k] = v
 	}
 	if *campaign {
 		vals, err := campaignCounters(*campaignSeed)
@@ -244,13 +330,20 @@ func main() {
 		results["Campaign/obs"] = vals
 	}
 	if *loadgenRun {
-		client, server, err := loadgenCounters(*loadgenSeed)
+		client, server, perf, err := loadgenCounters(*loadgenSeed)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "itm-bench:", err)
 			os.Exit(1)
 		}
 		results["Loadgen/counters"] = client
 		results["Loadgen/obs"] = server
+		// Wall-clock ledger: machine-dependent, excluded from the CI diff.
+		results["Perf/loadgen"] = map[string]float64{
+			"seconds": perf.Seconds,
+			"qps":     perf.QPS,
+			"p50_ms":  perf.P50ms,
+			"p99_ms":  perf.P99ms,
+		}
 	}
 	if *overloadRun {
 		results["Overload/obs"] = overloadCounters()
@@ -264,10 +357,19 @@ func main() {
 		results["Mesh/counters"] = client
 		results["Mesh/obs"] = server
 	}
+	if *sloRun {
+		vals, err := sloCounters(*sloSeed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "itm-bench:", err)
+			os.Exit(1)
+		}
+		results["SLO/obs"] = vals
+	}
 	if len(results) == 0 {
 		fmt.Fprintln(os.Stderr, "itm-bench: no benchmark lines on stdin")
 		os.Exit(1)
 	}
+	results["0_header"] = benchHeader
 	blob, err := json.MarshalIndent(results, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "itm-bench:", err)

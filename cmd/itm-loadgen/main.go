@@ -2,7 +2,9 @@
 // itm-serve instance and reports two ledgers: deterministic counters
 // (requests by route, statuses, cache outcomes, body bytes — byte-identical
 // across same-seed runs and worker counts) and a wall-clock performance
-// summary (QPS, p50/p99 latency).
+// summary (QPS, p50/p99 latency). Every planned request carries a seeded
+// W3C traceparent header, so the server's "http" trace, access events, and
+// histogram exemplars point back at exact plan entries (DESIGN.md §15).
 //
 // Two targets:
 //
@@ -146,8 +148,8 @@ func run(addr string, self, overload bool, scale string, worldSeed int64, epochs
 		return err
 	}
 	c := res.Counters
-	fmt.Printf("itm-loadgen: n=%d workers=%d seed=%d hit_ratio=%.3f not_modified=%d body_bytes=%d\n",
-		c.Total(), cfg.Workers, cfg.Seed, c.HitRatio(), c.NotModified, c.BodyBytes)
+	fmt.Printf("itm-loadgen: n=%d workers=%d seed=%d traced=%d hit_ratio=%.3f not_modified=%d body_bytes=%d\n",
+		c.Total(), cfg.Workers, cfg.Seed, c.Traced, c.HitRatio(), c.NotModified, c.BodyBytes)
 	fmt.Printf("itm-loadgen: wall qps=%.0f p50_ms=%.3f p99_ms=%.3f (machine-dependent, not part of the deterministic ledger)\n",
 		res.Perf.QPS, res.Perf.P50ms, res.Perf.P99ms)
 	if countersOut != "" {

@@ -13,6 +13,9 @@
 //	GET /v1/path/{a}/{b}?epoch=   user↔user AS path (-mesh-agents > 0)
 //	GET /v1/latency/{a}/{b}?epoch= user↔user RTT summary (-mesh-agents > 0)
 //	GET /v1/latency/top?epoch=&k= worst mesh pairs by mean RTT
+//	GET /v1/obs/history           telemetry history ring (per-epoch samples)
+//	GET /v1/obs/history/{family}  one metric family's series over the ring
+//	GET /v1/slo                   SLO burn-rate report (see itm-top)
 //	GET /metrics                  Prometheus text exposition (0.0.4)
 //	GET /v1/traces                recorded trace names
 //	GET /v1/trace/{campaign}      one campaign's span tree

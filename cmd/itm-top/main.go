@@ -1,0 +1,329 @@
+// Command itm-top is a plain-text dashboard for a running itm-serve: the
+// "watching the map" companion to itm-loadgen's "pushing on it".
+//
+// Each refresh it pulls three read-only surfaces —
+//
+//	GET /v1/slo          burn-rate judgment per serving objective
+//	GET /v1/obs/history  the deterministic telemetry history ring
+//	GET /metrics         text exposition, mined for latency exemplars
+//
+// — and renders four panes: the SLO table (status, max burn rate, and the
+// widest window's SLI per objective), the most recent history samples, the
+// largest counter families in the newest sample, and the worst-offending
+// traces (highest-bucket exemplars of itm_http_request_seconds, the
+// trace_id handles you can chase through the trace export).
+//
+// With -once it renders a single frame and exits — scriptable, and what
+// `make slo-smoke` asserts on. Without it, the terminal is redrawn every
+// -interval until interrupted. itm-top is a pure consumer: it holds no
+// state between frames and mutates nothing on the server.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+type sloWindow struct {
+	Samples  int     `json:"samples"`
+	SLI      float64 `json:"sli"`
+	BurnRate float64 `json:"burn_rate"`
+}
+
+type sloObjective struct {
+	Name        string      `json:"name"`
+	Target      float64     `json:"target"`
+	Status      string      `json:"status"`
+	MaxBurnRate float64     `json:"max_burn_rate"`
+	Windows     []sloWindow `json:"windows"`
+}
+
+type sloReport struct {
+	Generation int            `json:"generation"`
+	AllMet     bool           `json:"all_met"`
+	Objectives []sloObjective `json:"objectives"`
+}
+
+type historyKV struct {
+	Key   string  `json:"key"`
+	Value float64 `json:"value"`
+}
+
+type historySample struct {
+	Index  int         `json:"index"`
+	Source string      `json:"source"`
+	Label  string      `json:"label"`
+	AtH    float64     `json:"at_h"`
+	Values []historyKV `json:"values"`
+}
+
+type historyBody struct {
+	Generation int              `json:"generation"`
+	Dropped    int              `json:"dropped"`
+	Samples    []*historySample `json:"samples"`
+}
+
+// exemplarRow is one histogram bucket's retained exemplar: the trace that
+// observed it, mined from `... # {trace_id="..."} <value>` suffixes in the
+// text exposition.
+type exemplarRow struct {
+	route   string
+	le      float64
+	traceID string
+	value   float64
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://localhost:8411", "base URL of a running itm-serve")
+		interval = flag.Duration("interval", 2*time.Second, "refresh period in watch mode")
+		once     = flag.Bool("once", false, "render one frame and exit (no screen clearing)")
+	)
+	flag.Parse()
+
+	base := strings.TrimSuffix(*addr, "/")
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	for {
+		frame, err := render(client, base)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "itm-top: %v\n", err)
+			if *once {
+				os.Exit(1)
+			}
+		} else {
+			if !*once {
+				// Clear screen + home cursor between frames.
+				fmt.Print("\x1b[2J\x1b[H")
+			}
+			fmt.Print(frame)
+		}
+		if *once {
+			return
+		}
+		time.Sleep(*interval) //itmlint:allow nodeterm interactive dashboard refresh pacing
+	}
+}
+
+// render fetches all three surfaces and lays out one frame. Any one
+// surface failing fails the frame: a partial dashboard over a flapping
+// server is worse than an error line.
+func render(client *http.Client, base string) (string, error) {
+	var slo sloReport
+	if err := fetchJSON(client, base+"/v1/slo", &slo); err != nil {
+		return "", err
+	}
+	var hist historyBody
+	if err := fetchJSON(client, base+"/v1/obs/history", &hist); err != nil {
+		return "", err
+	}
+	metrics, err := fetchText(client, base+"/metrics")
+	if err != nil {
+		return "", err
+	}
+
+	var b strings.Builder
+	now := time.Now().Format(time.RFC3339) //itmlint:allow nodeterm frame timestamp is display-only
+	overall := "ALL MET"
+	if !slo.AllMet {
+		overall = "DEGRADED"
+	}
+	fmt.Fprintf(&b, "itm-top  %s  %s  [%s, gen %d]\n\n", base, now, overall, slo.Generation)
+
+	writeSLOPane(&b, slo)
+	writeHistoryPane(&b, hist)
+	writeFamilyPane(&b, hist)
+	writeTracePane(&b, parseExemplars(metrics, "itm_http_request_seconds_bucket"))
+	return b.String(), nil
+}
+
+func writeSLOPane(b *strings.Builder, slo sloReport) {
+	fmt.Fprintf(b, "SLO objectives\n")
+	fmt.Fprintf(b, "  %-26s %-10s %8s %10s %10s\n", "OBJECTIVE", "STATUS", "TARGET", "SLI", "MAX BURN")
+	for _, o := range slo.Objectives {
+		sli := "-"
+		if n := len(o.Windows); n > 0 {
+			// The last window is the widest ("since start"): the
+			// steadiest SLI to read at a glance.
+			w := o.Windows[n-1]
+			if w.Samples > 0 {
+				sli = fmt.Sprintf("%.5f", w.SLI)
+			}
+		}
+		fmt.Fprintf(b, "  %-26s %-10s %8.3f %10s %10.2f\n",
+			o.Name, o.Status, o.Target, sli, o.MaxBurnRate)
+	}
+	b.WriteByte('\n')
+}
+
+func writeHistoryPane(b *strings.Builder, hist historyBody) {
+	fmt.Fprintf(b, "History ring  (%d samples retained, %d dropped)\n",
+		len(hist.Samples), hist.Dropped)
+	const keep = 6
+	samples := hist.Samples
+	if len(samples) > keep {
+		samples = samples[len(samples)-keep:]
+	}
+	for _, s := range samples {
+		fmt.Fprintf(b, "  #%-4d %-6s %-18s at %6.1fh  %d series\n",
+			s.Index, s.Source, s.Label, s.AtH, len(s.Values))
+	}
+	if len(hist.Samples) == 0 {
+		fmt.Fprintf(b, "  (no samples yet — serve an epoch or run a campaign)\n")
+	}
+	b.WriteByte('\n')
+}
+
+func writeFamilyPane(b *strings.Builder, hist historyBody) {
+	fmt.Fprintf(b, "Top families  (latest sample, by value)\n")
+	if len(hist.Samples) == 0 {
+		fmt.Fprintf(b, "  (none)\n\n")
+		return
+	}
+	last := hist.Samples[len(hist.Samples)-1]
+	rows := make([]historyKV, len(last.Values))
+	copy(rows, last.Values)
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Value != rows[j].Value {
+			return rows[i].Value > rows[j].Value
+		}
+		return rows[i].Key < rows[j].Key
+	})
+	const keep = 8
+	if len(rows) > keep {
+		rows = rows[:keep]
+	}
+	for _, kv := range rows {
+		fmt.Fprintf(b, "  %14.6g  %s\n", kv.Value, kv.Key)
+	}
+	b.WriteByte('\n')
+}
+
+func writeTracePane(b *strings.Builder, rows []exemplarRow) {
+	fmt.Fprintf(b, "Worst traces  (itm_http_request_seconds exemplars)\n")
+	if len(rows) == 0 {
+		fmt.Fprintf(b, "  (no exemplars yet — send traced requests, e.g. itm-loadgen)\n")
+		return
+	}
+	// Rows arrive sorted highest value first: the requests most worth
+	// chasing lead.
+	const keep = 5
+	if len(rows) > keep {
+		rows = rows[:keep]
+	}
+	for _, r := range rows {
+		fmt.Fprintf(b, "  %10.6fs  le=%-8g %-28s trace=%s\n", r.value, r.le, r.route, r.traceID)
+	}
+}
+
+// parseExemplars mines bucket exemplars for one histogram family out of a
+// text exposition. Lines look like:
+//
+//	itm_http_request_seconds_bucket{route="/v1/top",le="0.01"} 4 # {trace_id="ab..."} 0.0042
+func parseExemplars(exposition, family string) []exemplarRow {
+	var rows []exemplarRow
+	seen := make(map[string]exemplarRow) // best (highest-le) bucket per trace
+	for _, line := range strings.Split(exposition, "\n") {
+		if !strings.HasPrefix(line, family+"{") {
+			continue
+		}
+		hash := strings.Index(line, " # {trace_id=\"")
+		if hash < 0 {
+			continue
+		}
+		rest := line[hash+len(" # {trace_id=\""):]
+		q := strings.Index(rest, "\"")
+		if q < 0 {
+			continue
+		}
+		traceID := rest[:q]
+		rest = strings.TrimPrefix(rest[q:], "\"} ")
+		value, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		if err != nil {
+			continue
+		}
+		row := exemplarRow{
+			route:   labelValue(line, "route"),
+			le:      leValue(line),
+			traceID: traceID,
+			value:   value,
+		}
+		// Each bucket retains at most one exemplar; if the same trace
+		// won several buckets, keep its tightest (smallest-le) sighting.
+		if prev, ok := seen[traceID+"|"+row.route]; !ok || row.le < prev.le {
+			seen[traceID+"|"+row.route] = row
+		}
+	}
+	for _, r := range seen {
+		rows = append(rows, r)
+	}
+	// Map iteration order is random; restore a deterministic order before
+	// anything downstream reads the slice.
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].value != rows[j].value {
+			return rows[i].value > rows[j].value
+		}
+		return rows[i].traceID < rows[j].traceID
+	})
+	return rows
+}
+
+func labelValue(line, key string) string {
+	marker := key + "=\""
+	i := strings.Index(line, marker)
+	if i < 0 {
+		return ""
+	}
+	rest := line[i+len(marker):]
+	if j := strings.Index(rest, "\""); j >= 0 {
+		return rest[:j]
+	}
+	return ""
+}
+
+func leValue(line string) float64 {
+	s := labelValue(line, "le")
+	if s == "+Inf" {
+		return float64(99e99)
+	}
+	v, _ := strconv.ParseFloat(s, 64)
+	return v
+}
+
+func fetchJSON(client *http.Client, url string, into any) error {
+	body, err := fetchText(client, url)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal([]byte(body), into); err != nil {
+		return fmt.Errorf("%s: decode: %w", url, err)
+	}
+	return nil
+}
+
+func fetchText(client *http.Client, url string) (string, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("%s: HTTP %d", url, resp.StatusCode)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", fmt.Errorf("%s: read: %w", url, err)
+	}
+	return string(raw), nil
+}

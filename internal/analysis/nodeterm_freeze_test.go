@@ -1,6 +1,11 @@
 package analysis
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
 
 // TestNodetermAllowlistFrozen pins the nodeterm path exemptions to the two
 // seeded substrates. Any other wall-clock use — the observability layer's
@@ -21,6 +26,42 @@ func TestNodetermAllowlistFrozen(t *testing.T) {
 	for pkg := range want {
 		if !nodetermAllowedPkgs[pkg] {
 			t.Fatalf("nodetermAllowedPkgs = %v, missing %q", nodetermAllowedPkgs, pkg)
+		}
+	}
+}
+
+// TestObsV2PackagesHoldNoClockExemptions pins the obs v2 determinism
+// surfaces — the telemetry history ring and the SLO engine — fully inside
+// the no-wall-clock contract: neither package may appear on the nodeterm
+// path allowlist, and neither may carry even a line-level
+// //itmlint:allow nodeterm. Their whole value is that history samples and
+// burn-rate reports are byte-identical across runs; one smuggled clock read
+// would quietly void that.
+func TestObsV2PackagesHoldNoClockExemptions(t *testing.T) {
+	frozen := []string{"internal/obs/history", "internal/obs/slo"}
+	for _, pkg := range frozen {
+		if nodetermAllowedPkgs[pkg] {
+			t.Errorf("%s must never join nodetermAllowedPkgs", pkg)
+		}
+	}
+	for _, pkg := range frozen {
+		dir := filepath.Join("..", "..", pkg)
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatalf("read %s: %v", dir, err)
+		}
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			src, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if strings.Contains(string(src), "itmlint:allow nodeterm") {
+				t.Errorf("%s/%s carries a nodeterm allow; the obs v2 packages must stay clock-free",
+					pkg, e.Name())
+			}
 		}
 	}
 }

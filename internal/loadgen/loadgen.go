@@ -25,6 +25,7 @@ import (
 	"sync"
 	"time"
 
+	"itmap/internal/obs"
 	"itmap/internal/order"
 	"itmap/internal/randx"
 )
@@ -92,6 +93,8 @@ type Counters struct {
 	// Results counts 200 responses by the server's X-Cache verdict
 	// (hit, miss, bypass, store).
 	Results map[string]uint64 `json:"results"`
+	// Traced counts requests issued with a minted traceparent header.
+	Traced uint64 `json:"traced"`
 	// NotModified counts 304 revalidations (no body transferred).
 	NotModified uint64 `json:"not_modified"`
 	// BodyBytes sums the body bytes of full responses.
@@ -119,6 +122,7 @@ func (c *Counters) merge(o *Counters) {
 	for _, k := range order.Keys(o.Results) {
 		c.Results[k] += o.Results[k]
 	}
+	c.Traced += o.Traced
 	c.NotModified += o.NotModified
 	c.BodyBytes += o.BodyBytes
 	c.ETagChanges += o.ETagChanges
@@ -147,6 +151,7 @@ func (c *Counters) HitRatio() float64 {
 // itm-bench folds into BENCH_serve.json.
 func (c *Counters) Flat() map[string]float64 {
 	out := map[string]float64{
+		"traced":       float64(c.Traced),
 		"not_modified": float64(c.NotModified),
 		"body_bytes":   float64(c.BodyBytes),
 		"etag_changes": float64(c.ETagChanges),
@@ -188,12 +193,30 @@ type Result struct {
 	Perf     Perf      `json:"perf"`
 }
 
-// request is one planned probe: a URL and whether a revisit should
-// revalidate (send If-None-Match) instead of re-fetching the body.
+// request is one planned probe: a URL, whether a revisit should revalidate
+// (send If-None-Match) instead of re-fetching the body, and the W3C
+// traceparent the request propagates.
 type request struct {
-	url        string
-	route      string
-	revalidate bool
+	url         string
+	route       string
+	revalidate  bool
+	traceparent string
+}
+
+// tagTrace namespaces the trace-ID hash stream ("trace" in ASCII), keeping
+// it disjoint from every other consumer of the seed.
+const tagTrace = 0x7472616365
+
+// mintTraceparent derives request i's traceparent from the plan seed: a
+// 128-bit trace ID and 64-bit parent span ID via the identity hash. Same
+// seed, same request index → same header, so the server-side trace corpus
+// is byte-identical across runs and worker counts.
+func mintTraceparent(seed int64, i int) string {
+	return obs.FormatTraceparent(
+		randx.Hash64(uint64(seed), tagTrace, uint64(i), 0),
+		randx.Hash64(uint64(seed), tagTrace, uint64(i), 1),
+		randx.Hash64(uint64(seed), tagTrace, uint64(i), 2),
+	)
 }
 
 // storeShape is what the plan generator needs to know about the target:
@@ -273,12 +296,18 @@ func getJSON(d Doer, url string, v any) error {
 }
 
 // plan generates the full deterministic request sequence for the
-// configured mix.
+// configured mix, every request carrying a seeded traceparent.
 func plan(cfg Config, sh storeShape) []request {
+	var reqs []request
 	if cfg.Mix == "mesh" {
-		return planMesh(cfg, sh)
+		reqs = planMesh(cfg, sh)
+	} else {
+		reqs = planMap(cfg, sh)
 	}
-	return planMap(cfg, sh)
+	for i := range reqs {
+		reqs[i].traceparent = mintTraceparent(cfg.Seed, i)
+	}
+	return reqs
 }
 
 // planMap is the consumer profile the paper's map targets: rankings and
@@ -439,6 +468,10 @@ func runWorker(base string, d Doer, reqs []request) (*Counters, []time.Duration,
 		seen := etags[r.url]
 		if r.revalidate && seen != "" {
 			req.Header.Set("If-None-Match", seen)
+		}
+		if r.traceparent != "" {
+			req.Header.Set("traceparent", r.traceparent)
+			c.Traced++
 		}
 		//itmlint:allow nodeterm loadgen measures real serving wall time (Perf ledger only)
 		t0 := time.Now()

@@ -5,8 +5,11 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync"
 
 	"itmap/internal/obs"
+	"itmap/internal/obs/history"
+	"itmap/internal/obs/slo"
 )
 
 // NewHandler exposes the store's query engine as an HTTP JSON API:
@@ -21,6 +24,9 @@ import (
 //	GET /v1/path/{a}/{b}?epoch=   user↔user observed AS path (if meshed)
 //	GET /v1/latency/{a}/{b}?epoch= user↔user RTT summary (if meshed)
 //	GET /v1/latency/top?epoch=&k= worst mesh pairs by mean RTT
+//	GET /v1/obs/history           telemetry history ring (stable families per sample)
+//	GET /v1/obs/history/{family}  one family's series across the retained samples
+//	GET /v1/slo                   SLO burn-rate report over the history ring
 //
 // The handler only reads store snapshots, so it serves concurrently with
 // ingestion without locking; each request resolves one snapshot up front
@@ -30,7 +36,7 @@ import (
 // through the epoch-keyed response cache (see cache.go): bodies encode
 // once, revalidations answer 304 with zero body work.
 func NewHandler(s *Store) http.Handler {
-	h := &handler{s: s}
+	h := &handler{s: s, eng: &slo.Engine{Objectives: slo.ServingObjectives()}}
 	mux := http.NewServeMux()
 	route := func(pattern string, fn http.HandlerFunc) {
 		// Metrics label on the registered pattern, never the raw path:
@@ -47,11 +53,38 @@ func NewHandler(s *Store) http.Handler {
 	route("GET /v1/path/{a}/{b}", h.meshPath)
 	route("GET /v1/latency/{a}/{b}", h.meshLatency)
 	route("GET /v1/latency/top", h.meshLatencyTop)
+	route("GET /v1/obs/history", h.obsHistory)
+	route("GET /v1/obs/history/{family}", h.obsHistoryFamily)
+	route("GET /v1/slo", h.slo)
 	return mux
 }
 
 type handler struct {
 	s *Store
+	// eng judges the serving objectives. Ring and registry resolve at
+	// evaluation time, so the handler follows test-time obs/history swaps.
+	eng *slo.Engine
+
+	hmu sync.Mutex
+	// History responses cache per ring generation: a new sample publishes a
+	// new snapshot, so the cache swaps wholesale — the same
+	// invalidate-by-construction scheme the store's epochList cache uses.
+	//itm:guardedby hmu
+	histGen int
+	//itm:guardedby hmu
+	histCache *responseCache
+}
+
+// historyCache returns the response cache for the snapshot's generation,
+// replacing the previous generation's cache on first use.
+func (h *handler) historyCache(snap *history.Snapshot) *responseCache {
+	h.hmu.Lock()
+	defer h.hmu.Unlock()
+	if h.histCache == nil || h.histGen != snap.Gen {
+		h.histGen = snap.Gen
+		h.histCache = newResponseCache()
+	}
+	return h.histCache
 }
 
 // view resolves the request's store snapshot: one atomic load, then every
@@ -156,11 +189,80 @@ func pathASN(r *http.Request, name string) (uint32, error) {
 	return uint32(v), nil
 }
 
+// objectiveHealth is one objective's line in the deepened /healthz body.
+type objectiveHealth struct {
+	Name   string `json:"name"`
+	Status string `json:"status"`
+}
+
+// healthz reports liveness plus per-objective SLO status: "ok" until an
+// objective is violated, then "degraded" — liveness never turns into a
+// crash-loop signal just because an SLO is burning.
 func (h *handler) healthz(w http.ResponseWriter, r *http.Request) {
+	rep := h.eng.Evaluate()
+	status := "ok"
+	objs := make([]objectiveHealth, 0, len(rep.Objectives))
+	for _, o := range rep.Objectives {
+		if o.Status == slo.StatusViolated {
+			status = "degraded"
+		}
+		objs = append(objs, objectiveHealth{Name: o.Name, Status: o.Status})
+	}
 	writeJSON(w, http.StatusOK, struct {
-		Status string `json:"status"`
-		Epochs int    `json:"epochs"`
-	}{Status: "ok", Epochs: h.s.Len()})
+		Status string            `json:"status"`
+		Epochs int               `json:"epochs"`
+		SLO    []objectiveHealth `json:"slo"`
+	}{Status: status, Epochs: h.s.Len(), SLO: objs})
+}
+
+// obsHistory serves the telemetry history ring through the response cache:
+// the ring's ETag is content-derived, so revalidations 304 and the body
+// encodes once per generation.
+func (h *handler) obsHistory(w http.ResponseWriter, r *http.Request) {
+	snap := history.Default().Snapshot()
+	c := h.historyCache(snap)
+	serveCached(w, r, "/v1/obs/history", c, "history", snap.ETag, func() ([]byte, string, error) {
+		b, err := snap.MarshalBody()
+		if err != nil {
+			return nil, "", err
+		}
+		return b, "application/json", nil
+	})
+}
+
+// obsHistoryFamily serves one family's values across the retained samples.
+func (h *handler) obsHistoryFamily(w http.ResponseWriter, r *http.Request) {
+	fam := r.PathValue("family")
+	snap := history.Default().Snapshot()
+	c := h.historyCache(snap)
+	serveCached(w, r, "/v1/obs/history/{family}", c, "history/"+fam, snap.FamilyETag(fam),
+		func() ([]byte, string, error) {
+			b, ok, err := snap.MarshalFamilyBody(fam)
+			if err != nil {
+				return nil, "", err
+			}
+			if !ok {
+				return nil, "", &statusErr{http.StatusNotFound,
+					fmt.Sprintf("no family %q in history", fam)}
+			}
+			return b, "application/json", nil
+		})
+}
+
+// slo serves the burn-rate report. The body depends on the live registry
+// (the "now" point moves with every request served), so it is rendered
+// fresh rather than cached — still byte-deterministic for a controlled
+// request sequence, which the identity tests pin.
+func (h *handler) slo(w http.ResponseWriter, r *http.Request) {
+	b, err := h.eng.Evaluate().MarshalJSONBody()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(b)))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(b)
 }
 
 func (h *handler) epochs(w http.ResponseWriter, r *http.Request) {

@@ -5,12 +5,14 @@ import (
 	"maps"
 	"math/bits"
 	"slices"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
 	"itmap/internal/core"
 	"itmap/internal/mapstore/wal"
 	"itmap/internal/obs"
+	"itmap/internal/obs/history"
 	"itmap/internal/simtime"
 	"itmap/internal/topology"
 	"itmap/internal/traffic"
@@ -133,9 +135,28 @@ type Store struct {
 // NewStore returns an empty store.
 func NewStore() *Store {
 	declareCacheMetrics()
+	declareStoreMetrics()
 	s := &Store{}
 	s.cur.Store(&epochList{etag: storeETag(0, ""), cache: newResponseCache()})
 	return s
+}
+
+// declareStoreMetrics registers HELP/TYPE for every family the ingest and
+// codec paths touch, so a fresh store's stable exposition (and the
+// declared-families audit test) carries them before the first append.
+func declareStoreMetrics() {
+	m := obs.Metrics()
+	m.Declare(obs.KindCounter, "itm_mapstore_epochs_total", "Epochs ingested into the map store.")
+	m.Declare(obs.KindCounter, "itm_mapstore_sections_shared_total", "Document sections structurally shared with the previous epoch.")
+	m.Declare(obs.KindCounter, "itm_mapstore_sections_copied_total", "Document sections that changed and so kept their own storage.")
+	m.DeclareHistogram("itm_mapstore_epoch_bytes", "Encoded (ITMB) size of ingested epochs, in bytes.", epochBytesBuckets)
+	m.Declare(obs.KindCounter, "itm_mapstore_mesh_epochs_total", "Epochs ingested carrying a fresh mesh matrix.")
+	m.Declare(obs.KindCounter, "itm_mapstore_mesh_shared_total", "Mesh sections structurally shared with the previous epoch.")
+	m.DeclareHistogram("itm_mapstore_mesh_bytes", "Encoded (ITMB v2) size of ingested mesh matrices, in bytes.", epochBytesBuckets)
+	m.Declare(obs.KindCounter, "itm_codec_encoded_bytes_total", "ITMB bytes produced by document encodes.")
+	m.Declare(obs.KindCounter, "itm_codec_decoded_bytes_total", "ITMB bytes consumed by successful document decodes.")
+	obs.DeclareHTTPMetrics(m)
+	history.DeclareMetrics(m)
 }
 
 // Len returns the number of epochs.
@@ -274,6 +295,10 @@ func (s *Store) append(at simtime.Time, doc *core.MapDocument, mx *traffic.Matri
 		obs.C("itm_mapstore_sections_copied_total", "Document sections that changed and so kept their own storage.").Add(uint64(sectionCount - e.SharedSections))
 	}
 	obs.H("itm_mapstore_epoch_bytes", "Encoded (ITMB) size of ingested epochs, in bytes.", epochBytesBuckets).Observe(float64(len(e.Encoded)))
+	// Telemetry history sample: one capture per append, taken here — a
+	// serial point under the ingest lock — so the sample sequence (and the
+	// history API's bytes) is a pure function of the campaign.
+	history.Observe("epoch", "epoch-"+strconv.Itoa(e.ID), at)
 	return e, nil
 }
 

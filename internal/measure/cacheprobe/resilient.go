@@ -6,6 +6,7 @@ import (
 	"itmap/internal/dnssim"
 	"itmap/internal/faults"
 	"itmap/internal/obs"
+	"itmap/internal/obs/history"
 	"itmap/internal/parallel"
 	"itmap/internal/resilience"
 	"itmap/internal/simtime"
@@ -364,6 +365,9 @@ func (rp *ResilientProber) DiscoverPrefixes(top *topology.Topology, prefixes []t
 	out.Failed = stats.Probes - answered
 	stats.reportObs("discover")
 	obs.C("itm_probe_prefixes_found_total", "Prefixes discovered active (at least one cache hit).").Add(uint64(len(out.Found)))
+	// Fleet-health history sample: the sweep just folded its per-agent
+	// ledgers on this serial path, so the capture is deterministic.
+	history.Observe("sweep", "sweep-discover", start+24)
 	root.SetAttrInt("found", int64(len(out.Found))).
 		SetAttrInt("datagrams", int64(stats.Probes)).
 		End(start + 24)
@@ -474,6 +478,7 @@ func (rp *ResilientProber) MeasureHitRates(top *topology.Topology, prefixes []to
 		stats.merge(r.st)
 	}
 	stats.reportObs("hitrates")
+	history.Observe("sweep", "sweep-hitrates", start+24)
 	root.SetAttrInt("datagrams", int64(stats.Probes)).End(start + 24)
 	return out, stats, nil
 }

@@ -111,6 +111,18 @@ type Histogram struct {
 	counts []atomic.Uint64 // len(bounds)+1; last is +Inf
 	sum    atomic.Int64    // fixed-point, sumScale units
 	n      atomic.Uint64
+
+	emu sync.Mutex
+	//itm:guardedby emu
+	exemplars []exemplar // lazily len(bounds)+1; empty traceID = unset
+}
+
+// exemplar links one bucket to a trace that landed in it. The kept exemplar
+// is the minimum by (traceID, value), a commutative fold, so concurrent
+// observation order never reaches the exposition.
+type exemplar struct {
+	traceID string
+	value   float64
 }
 
 // Observe records v.
@@ -119,6 +131,37 @@ func (h *Histogram) Observe(v float64) {
 	h.counts[i].Add(1)
 	h.sum.Add(int64(math.Round(v * sumScale)))
 	h.n.Add(1)
+}
+
+// ObserveExemplar records v and, when traceID is non-empty, offers it as
+// the bucket's exemplar. Exemplar selection keeps the smallest
+// (traceID, value) pair seen, so the winning exemplar depends only on the
+// set of observations, not their arrival order.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	h.Observe(v)
+	if traceID == "" {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.emu.Lock()
+	if h.exemplars == nil {
+		h.exemplars = make([]exemplar, len(h.bounds)+1)
+	}
+	e := &h.exemplars[i]
+	if e.traceID == "" || traceID < e.traceID || (traceID == e.traceID && v < e.value) {
+		*e = exemplar{traceID: traceID, value: v}
+	}
+	h.emu.Unlock()
+}
+
+// exemplarAt returns bucket i's exemplar, if one was recorded.
+func (h *Histogram) exemplarAt(i int) (exemplar, bool) {
+	h.emu.Lock()
+	defer h.emu.Unlock()
+	if h.exemplars == nil || i >= len(h.exemplars) || h.exemplars[i].traceID == "" {
+		return exemplar{}, false
+	}
+	return h.exemplars[i], true
 }
 
 // Count returns the number of observations.
@@ -285,6 +328,16 @@ func (r *Registry) Declare(kind Kind, name, help string, labelKeys ...string) {
 	r.family(name, help, kind, nil, labels, false)
 }
 
+// DeclareHistogram is Declare for histogram families, which additionally
+// need their bucket bounds fixed up front.
+func (r *Registry) DeclareHistogram(name, help string, bounds []float64, labelKeys ...string) {
+	labels := make([]Label, len(labelKeys))
+	for i, k := range labelKeys {
+		labels[i] = Label{Key: k}
+	}
+	r.family(name, help, KindHistogram, bounds, labels, false)
+}
+
 // Families returns the registered family names, sorted.
 func (r *Registry) Families() []string {
 	r.mu.RLock()
@@ -411,12 +464,16 @@ func (f *family) write(b *strings.Builder) {
 				b.WriteString(f.name)
 				b.WriteString("_bucket")
 				writeLabels(b, f.labelKeys, s.labelValues, "le", bound)
-				fmt.Fprintf(b, " %d\n", cum)
+				fmt.Fprintf(b, " %d", cum)
+				writeExemplar(b, h, i)
+				b.WriteByte('\n')
 			}
 			b.WriteString(f.name)
 			b.WriteString("_bucket")
 			writeLabels(b, f.labelKeys, s.labelValues, "le", math.Inf(1))
-			fmt.Fprintf(b, " %d\n", h.Count())
+			fmt.Fprintf(b, " %d", h.Count())
+			writeExemplar(b, h, len(h.bounds))
+			b.WriteByte('\n')
 			fmt.Fprintf(b, "%s_sum", f.name)
 			writeLabels(b, f.labelKeys, s.labelValues, "", 0)
 			b.WriteByte(' ')
@@ -427,6 +484,19 @@ func (f *family) write(b *strings.Builder) {
 			fmt.Fprintf(b, " %d\n", h.Count())
 		}
 	}
+}
+
+// writeExemplar appends an OpenMetrics-style exemplar suffix
+// (` # {trace_id="..."} <value>`) when bucket i has one.
+func writeExemplar(b *strings.Builder, h *Histogram, i int) {
+	ex, ok := h.exemplarAt(i)
+	if !ok {
+		return
+	}
+	b.WriteString(` # {trace_id="`)
+	b.WriteString(escapeLabel(ex.traceID))
+	b.WriteString(`"} `)
+	b.WriteString(formatFloat(ex.value))
 }
 
 // writeLabels emits {k="v",...}; leKey non-empty appends the histogram

@@ -29,7 +29,12 @@ newline.`).Inc()
 	for _, v := range []float64{0.5, 5, 5, 50, 5000} {
 		h.Observe(v)
 	}
+	hx := r.Histogram("itm_traced_bytes", "A histogram with exemplars.", []float64{16, 256})
+	hx.ObserveExemplar(12, "0af7651916cd43dd8448eb211c80319c")
+	hx.ObserveExemplar(1024, "b7ad6b7169203331")
+	hx.Observe(64) // no exemplar on the middle bucket
 	r.Declare(KindCounter, "itm_declared_total", "Declared but never incremented.", "kind")
+	r.DeclareHistogram("itm_declared_bytes", "Declared histogram, never observed.", []float64{1, 2})
 	r.VolatileCounter("itm_volatile_total", "Excluded from the stable dump.").Add(99)
 
 	got := r.StableExposition()

@@ -1,0 +1,90 @@
+package obs
+
+// W3C trace-context (traceparent) helpers. The serving stack propagates
+// request causality with the standard 55-byte header form
+//
+//	00-<32 hex trace-id>-<16 hex parent-id>-<2 hex flags>
+//
+// but mints the IDs deterministically: loadgen derives trace and parent IDs
+// from (seed, request index) via randx.Hash64, so a same-seed replay
+// produces a byte-identical trace corpus. The helpers here are pure
+// string-shuffling — no randomness, no clocks — which keeps the obs layer
+// inside the determinism contract (DESIGN.md §15).
+
+// traceparentLen is the exact length of a version-00 traceparent header.
+const traceparentLen = 2 + 1 + 32 + 1 + 16 + 1 + 2
+
+const hexDigits = "0123456789abcdef"
+
+// FormatTraceparent renders a version-00 traceparent header from a 128-bit
+// trace ID (hi, lo) and a 64-bit parent span ID, with the sampled flag set.
+// All-zero IDs are invalid per the spec, so zero inputs are nudged to 1.
+func FormatTraceparent(traceHi, traceLo, parent uint64) string {
+	if traceHi == 0 && traceLo == 0 {
+		traceLo = 1
+	}
+	if parent == 0 {
+		parent = 1
+	}
+	b := make([]byte, 0, traceparentLen)
+	b = append(b, '0', '0', '-')
+	b = appendHex64(b, traceHi)
+	b = appendHex64(b, traceLo)
+	b = append(b, '-')
+	b = appendHex64(b, parent)
+	b = append(b, '-', '0', '1')
+	return string(b)
+}
+
+func appendHex64(b []byte, v uint64) []byte {
+	for shift := 60; shift >= 0; shift -= 4 {
+		b = append(b, hexDigits[(v>>uint(shift))&0xf])
+	}
+	return b
+}
+
+// ParseTraceparent validates a version-00 traceparent header and returns
+// its trace ID and parent span ID as lowercase hex strings. ok is false for
+// anything malformed: wrong length, unknown version, bad separators,
+// non-hex digits, or the spec's forbidden all-zero IDs. Absent or invalid
+// headers make a request untraced — it is still served and counted, but
+// never reaches the deterministic trace/exemplar surfaces.
+func ParseTraceparent(h string) (traceID, parentID string, ok bool) {
+	if len(h) != traceparentLen {
+		return "", "", false
+	}
+	if h[0] != '0' || h[1] != '0' {
+		return "", "", false
+	}
+	if h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return "", "", false
+	}
+	traceID, parentID = h[3:35], h[36:52]
+	flags := h[53:]
+	if !isLowerHex(traceID) || !isLowerHex(parentID) || !isLowerHex(flags) {
+		return "", "", false
+	}
+	if allZero(traceID) || allZero(parentID) {
+		return "", "", false
+	}
+	return traceID, parentID, true
+}
+
+func isLowerHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func allZero(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] != '0' {
+			return false
+		}
+	}
+	return true
+}

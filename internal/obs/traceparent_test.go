@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFormatTraceparentShape(t *testing.T) {
+	h := FormatTraceparent(0xdeadbeef01020304, 0x1122334455667788, 0x0102030405060708)
+	if len(h) != traceparentLen {
+		t.Fatalf("len = %d, want %d", len(h), traceparentLen)
+	}
+	want := "00-deadbeef010203041122334455667788-0102030405060708-01"
+	if h != want {
+		t.Fatalf("header = %q, want %q", h, want)
+	}
+	traceID, parentID, ok := ParseTraceparent(h)
+	if !ok {
+		t.Fatal("formatted header must parse")
+	}
+	if traceID != "deadbeef010203041122334455667788" || parentID != "0102030405060708" {
+		t.Fatalf("round-trip = (%q, %q)", traceID, parentID)
+	}
+}
+
+// All-zero trace or parent IDs are invalid per W3C; the formatter nudges
+// them instead of emitting an unparseable header.
+func TestFormatTraceparentNudgesZeroIDs(t *testing.T) {
+	h := FormatTraceparent(0, 0, 0)
+	if _, _, ok := ParseTraceparent(h); !ok {
+		t.Fatalf("zero-input header %q must still parse", h)
+	}
+	if strings.Contains(h, "-0000000000000000-") {
+		t.Fatalf("parent ID not nudged: %q", h)
+	}
+}
+
+func TestParseTraceparentRejects(t *testing.T) {
+	valid := "00-deadbeef010203041122334455667788-0102030405060708-01"
+	if _, _, ok := ParseTraceparent(valid); !ok {
+		t.Fatal("control header must parse")
+	}
+	bad := []struct{ name, h string }{
+		{"empty", ""},
+		{"short", valid[:54]},
+		{"long", valid + "0"},
+		{"version", "99" + valid[2:]},
+		{"dash", strings.Replace(valid, "-", "_", 1)},
+		{"uppercase", strings.Replace(valid, "deadbeef", "DEADBEEF", 1)},
+		{"nonhex", strings.Replace(valid, "deadbeef", "deadbeeg", 1)},
+		{"zero trace", "00-00000000000000000000000000000000-0102030405060708-01"},
+		{"zero parent", "00-deadbeef010203041122334455667788-0000000000000000-01"},
+	}
+	for _, tc := range bad {
+		if _, _, ok := ParseTraceparent(tc.h); ok {
+			t.Errorf("%s: %q should be rejected", tc.name, tc.h)
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"itmap/internal/latency"
 	"itmap/internal/measure/tracer"
 	"itmap/internal/obs"
+	"itmap/internal/obs/history"
 	"itmap/internal/order"
 	"itmap/internal/parallel"
 	"itmap/internal/randx"
@@ -240,7 +241,8 @@ const (
 	helpRounds    = "Mesh campaign rounds run."
 	helpPings     = "Mesh RTT pings issued, by outcome."
 	helpTraces    = "Mesh traceroutes issued (including retries)."
-	helpPairs     = "AS pairs materialized into mesh matrices."
+	helpPairs      = "AS pairs materialized into mesh matrices."
+	helpIncomplete = "AS pairs materialized without a complete traceroute path."
 )
 
 // RegisterMetrics declares the fleet's metric families so a process that
@@ -255,6 +257,7 @@ func RegisterMetrics() {
 	m.Declare(obs.KindCounter, "itm_mesh_pings_total", helpPings, "outcome")
 	m.Declare(obs.KindCounter, "itm_mesh_traceroutes_total", helpTraces)
 	m.Declare(obs.KindCounter, "itm_mesh_pairs_total", helpPairs)
+	m.Declare(obs.KindCounter, "itm_mesh_pairs_incomplete_total", helpIncomplete)
 }
 
 // pingOutcome maps a probe fault to its bounded outcome label.
@@ -368,7 +371,21 @@ func (c *Campaign) Run() (*core.MeshDocument, *Stats) {
 		}
 		doc.Pairs = append(doc.Pairs, p)
 	}
+	incomplete := 0
+	for _, p := range doc.Pairs {
+		if !p.Complete {
+			incomplete++
+		}
+	}
 	obs.C("itm_mesh_pairs_total", helpPairs).Add(uint64(len(doc.Pairs)))
+	obs.C("itm_mesh_pairs_incomplete_total", helpIncomplete).Add(uint64(incomplete))
+	// Fleet-health history sample at the campaign's last round — a serial
+	// point after the shard fold, so the capture is deterministic.
+	end := c.cfg.Start
+	if c.cfg.Rounds > 0 {
+		end += simtime.Time(c.cfg.Rounds-1) * c.cfg.Interval
+	}
+	history.Observe("mesh", "mesh-"+doc.Profile, end)
 	return doc, st
 }
 
